@@ -1,0 +1,60 @@
+//! Ablation (DESIGN.md §6.3): struct-of-arrays dataset layout vs a naive
+//! record vector for the scan-heavy statistics passes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tweetmob_data::{DatasetSummary, Tweet, TweetDataset};
+use tweetmob_synth::{GeneratorConfig, TweetGenerator};
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 5_000;
+    let ds = TweetGenerator::new(cfg).generate();
+    let records: Vec<Tweet> = ds.iter_tweets().collect();
+    let n = ds.n_tweets() as u64;
+
+    let mut group = c.benchmark_group("dataset_scan");
+    group.throughput(Throughput::Elements(n));
+    // SoA: sequential scan over the timestamp column only.
+    group.bench_function("waiting_times_soa", |b| {
+        b.iter(|| black_box(&ds).waiting_times_secs())
+    });
+    // AoS baseline: same computation walking full records.
+    group.bench_function("waiting_times_aos", |b| {
+        b.iter(|| {
+            let recs = black_box(&records);
+            let mut out = Vec::new();
+            let mut prev: Option<&Tweet> = None;
+            for t in recs {
+                if let Some(p) = prev {
+                    if p.user == t.user {
+                        out.push(t.time.seconds_since(p.time));
+                    }
+                }
+                prev = Some(t);
+            }
+            out
+        })
+    });
+    group.bench_function("summary_table1", |b| {
+        b.iter(|| DatasetSummary::of(black_box(&ds)))
+    });
+    group.bench_function("tweets_per_user", |b| {
+        b.iter(|| black_box(&ds).tweets_per_user())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dataset_build");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("from_tweets_sort", |b| {
+        b.iter(|| TweetDataset::from_tweets(black_box(records.clone())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dataset
+}
+criterion_main!(benches);

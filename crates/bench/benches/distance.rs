@@ -1,0 +1,82 @@
+//! Ablation (DESIGN.md §6.2): haversine vs equirectangular distance in
+//! the extraction hot loop.
+//!
+//! The area-assignment pre-filter uses the equirectangular
+//! approximation; this bench quantifies what that buys per call.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tweetmob_geo::{bearing_deg, destination, equirectangular_km, haversine_km, Point};
+
+fn random_points(n: usize, seed: u64) -> Vec<(Point, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = Point::new_unchecked(
+                rng.random_range(-44.0..-10.0),
+                rng.random_range(113.0..154.0),
+            );
+            let b = Point::new_unchecked(
+                rng.random_range(-44.0..-10.0),
+                rng.random_range(113.0..154.0),
+            );
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let pairs = random_points(1024, 7);
+    let mut group = c.benchmark_group("distance");
+    group.bench_function("haversine_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(p, q) in &pairs {
+                acc += haversine_km(black_box(p), black_box(q));
+            }
+            acc
+        })
+    });
+    group.bench_function("equirectangular_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(p, q) in &pairs {
+                acc += equirectangular_km(black_box(p), black_box(q));
+            }
+            acc
+        })
+    });
+    group.bench_function("bearing_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(p, q) in &pairs {
+                acc += bearing_deg(black_box(p), black_box(q));
+            }
+            acc
+        })
+    });
+    group.bench_function("destination_1024", |b| {
+        b.iter_batched(
+            || pairs.clone(),
+            |pairs| {
+                let mut acc = 0.0;
+                for (p, _) in pairs {
+                    let d = destination(black_box(p), 45.0, 10.0);
+                    acc += d.lat;
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_distance
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation (DESIGN.md §6.6): deterministic RK4 vs stochastic binomial
+//! stepping of the metapopulation model, per simulated day.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tweetmob_epidemic::deterministic::{rk4_step, Rates as DetRates, State};
+use tweetmob_epidemic::stochastic::{binomial, step as stoch_step, DiscreteState, Rates as StochRates};
+use tweetmob_epidemic::MobilityNetwork;
+
+fn dense_network(n: usize) -> MobilityNetwork {
+    let populations: Vec<f64> = (0..n).map(|i| 50_000.0 + 1_000.0 * i as f64).collect();
+    let mut flows = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                flows.push((i, j, 1.0 + ((i * 31 + j * 17) % 97) as f64));
+            }
+        }
+    }
+    MobilityNetwork::from_flows(populations, &flows, 0.05).unwrap()
+}
+
+fn bench_epidemic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epidemic_step");
+    for n in [20usize, 100] {
+        let net = dense_network(n);
+        let det_rates = DetRates {
+            beta: 0.5,
+            gamma: 0.2,
+            sigma: Some(0.3),
+        };
+        let stoch_rates = StochRates {
+            beta: 0.5,
+            gamma: 0.2,
+            sigma: Some(0.3),
+        };
+        let mut det_state = State::susceptible(&net, true);
+        det_state.seed_infection(0, 100.0);
+        group.bench_with_input(BenchmarkId::new("rk4", n), &n, |b, _| {
+            b.iter(|| rk4_step(black_box(&net), &det_rates, black_box(&det_state), 0.25))
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut st = DiscreteState::susceptible(&net, true);
+                st.seed_infection(0, 100);
+                stoch_step(black_box(&net), &stoch_rates, &mut st, 0.25, &mut rng);
+                st
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("binomial_sampler");
+    let mut rng = StdRng::seed_from_u64(2);
+    for (n, p) in [(50u64, 0.3), (100_000, 0.001), (1_000_000, 0.4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_p{p}")),
+            &(n, p),
+            |b, &(n, p)| b.iter(|| binomial(&mut rng, black_box(n), black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_epidemic
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation (DESIGN.md §6.4): log-space OLS fit cost vs observation
+//! count, plus the statistics kernels the experiments lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tweetmob_models::{FlowObservation, Gravity2Fit, Gravity4Fit, RadiationFit};
+use tweetmob_stats::correlation::{log_pearson, pearson, spearman};
+use tweetmob_stats::powerlaw::fit_alpha;
+
+fn synthetic_observations(n: usize, seed: u64) -> Vec<FlowObservation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let m = rng.random_range(1e3..1e6);
+            let nn = rng.random_range(1e3..1e6);
+            let d = rng.random_range(5.0..3_000.0);
+            let s = rng.random_range(0.0..2e6);
+            FlowObservation {
+                origin_population: m,
+                dest_population: nn,
+                distance_km: d,
+                intervening_population: s,
+                observed_flow: 0.01 * m * nn / (d * d) * rng.random_range(0.5..2.0),
+            }
+        })
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    for n in [380usize, 10_000] {
+        let obs = synthetic_observations(n, 5);
+        group.bench_with_input(BenchmarkId::new("gravity4", n), &obs, |b, obs| {
+            b.iter(|| Gravity4Fit::fit(black_box(obs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gravity2", n), &obs, |b, obs| {
+            b.iter(|| Gravity2Fit::fit(black_box(obs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("radiation", n), &obs, |b, obs| {
+            b.iter(|| RadiationFit::fit(black_box(obs)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let x: Vec<f64> = (0..10_000).map(|_| rng.random_range(1.0..1e6)).collect();
+    let y: Vec<f64> = x.iter().map(|v| v * rng.random_range(0.5..2.0)).collect();
+    let mut group = c.benchmark_group("stats_kernels");
+    group.bench_function("pearson_10k", |b| {
+        b.iter(|| pearson(black_box(&x), black_box(&y)).unwrap())
+    });
+    group.bench_function("log_pearson_10k", |b| {
+        b.iter(|| log_pearson(black_box(&x), black_box(&y)).unwrap())
+    });
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| spearman(black_box(&x), black_box(&y)).unwrap())
+    });
+    group.bench_function("powerlaw_mle_10k", |b| {
+        b.iter(|| fit_alpha(black_box(&x), 1.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fitting
+}
+criterion_main!(benches);

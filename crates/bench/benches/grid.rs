@@ -1,0 +1,82 @@
+//! Ablation (DESIGN.md §6.1): spatial-grid cell size vs radius-query
+//! latency, plus index build cost.
+//!
+//! The paper's extraction runs thousands of radius queries (ε = 0.5 … 50
+//! km) over millions of points; cell size trades bucket-scan width
+//! against cells touched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tweetmob_geo::{GridIndex, Point};
+
+fn australian_cloud(n: usize, seed: u64) -> Vec<Point> {
+    // Clustered around a few "cities" plus sparse background — mirrors
+    // the real density skew the index has to serve.
+    let centers = [
+        (-33.87, 151.21),
+        (-37.81, 144.96),
+        (-27.47, 153.03),
+        (-31.95, 115.86),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 10 == 0 {
+                Point::new_unchecked(
+                    rng.random_range(-44.0..-10.0),
+                    rng.random_range(113.0..154.0),
+                )
+            } else {
+                let (clat, clon) = centers[i % centers.len()];
+                Point::new_unchecked(
+                    clat + rng.random_range(-0.5..0.5),
+                    clon + rng.random_range(-0.5..0.5),
+                )
+            }
+        })
+        .collect()
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let points = australian_cloud(200_000, 3);
+    let sydney = Point::new_unchecked(-33.8688, 151.2093);
+
+    let mut group = c.benchmark_group("grid_build");
+    for cell in [0.05, 0.2, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(cell), &cell, |b, &cell| {
+            b.iter(|| GridIndex::build(black_box(points.clone()), cell))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("grid_radius_query");
+    for cell in [0.05, 0.2, 1.0, 5.0] {
+        let index = GridIndex::build(points.clone(), cell);
+        for radius in [2.0, 50.0] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cell_{cell}"), radius),
+                &radius,
+                |b, &radius| b.iter(|| index.count_within_radius(black_box(sydney), radius)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("grid_knn");
+    let index = GridIndex::build(points.clone(), 0.2);
+    for k in [1usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| index.k_nearest(black_box(sydney), k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_grid
+}
+criterion_main!(benches);

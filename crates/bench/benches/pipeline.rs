@@ -1,0 +1,55 @@
+//! End-to-end pipeline benches: generator throughput, trip extraction,
+//! population estimation — the costs that dominate a full paper
+//! reproduction run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tweetmob_core::{extract_trips, AreaSet, Experiment, Scale};
+use tweetmob_synth::{GeneratorConfig, TweetGenerator};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    for users in [1_000u32, 5_000] {
+        let mut cfg = GeneratorConfig::small();
+        cfg.n_users = users;
+        group.throughput(Throughput::Elements(users as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &cfg, |b, cfg| {
+            b.iter(|| TweetGenerator::new(black_box(cfg.clone())).generate())
+        });
+    }
+    group.finish();
+
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 5_000;
+    let ds = TweetGenerator::new(cfg).generate();
+
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Elements(ds.n_tweets() as u64));
+    for scale in Scale::ALL {
+        let areas = AreaSet::of_scale(scale);
+        group.bench_with_input(
+            BenchmarkId::new("trips", scale.name()),
+            &areas,
+            |b, areas| b.iter(|| extract_trips(black_box(&ds), areas)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("experiment");
+    group.bench_function("index_build", |b| b.iter(|| Experiment::new(black_box(&ds))));
+    let exp = Experiment::new(&ds);
+    group.bench_function("population_national", |b| {
+        b.iter(|| exp.population_correlation(Scale::National).unwrap())
+    });
+    group.bench_function("mobility_national", |b| {
+        b.iter(|| exp.mobility(Scale::National).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation (DESIGN.md §6.5): Radiation's intervening-population term
+//! `s(i, j)` — naive O(n) scan per pair vs the distance-sorted prefix-sum
+//! structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use tweetmob_geo::Point;
+use tweetmob_models::InterveningPopulation;
+
+fn random_areas(n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = (0..n)
+        .map(|_| {
+            Point::new_unchecked(
+                rng.random_range(-44.0..-10.0),
+                rng.random_range(113.0..154.0),
+            )
+        })
+        .collect();
+    let pops = (0..n).map(|_| rng.random_range(1e3..1e6)).collect();
+    (centers, pops)
+}
+
+fn bench_radiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intervening_population");
+    for n in [20usize, 100, 400] {
+        let (centers, pops) = random_areas(n, 11);
+        let structure = InterveningPopulation::build(&centers, &pops);
+        // All ordered pairs via the prefix-sum structure.
+        group.bench_with_input(BenchmarkId::new("prefix_all_pairs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            acc += structure.s(black_box(i), black_box(j));
+                        }
+                    }
+                }
+                acc
+            })
+        });
+        // Naive O(n) scan per pair.
+        group.bench_with_input(BenchmarkId::new("naive_all_pairs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            acc += structure.s_naive(black_box(i), black_box(j));
+                        }
+                    }
+                }
+                acc
+            })
+        });
+        // Build cost amortised over queries.
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| InterveningPopulation::build(black_box(&centers), black_box(&pops)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_radiation
+}
+criterion_main!(benches);

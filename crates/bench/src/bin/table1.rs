@@ -1,0 +1,31 @@
+//! Regenerates **Table I** — statistics of the (synthetic) dataset.
+//!
+//! Paper reference values: lon [112.921112, 159.278717], lat [−54.640301,
+//! −9.228820], Sept 2013 – Apr 2014, 6,304,176 tweets, 473,956 users,
+//! 13.3 tweets/user, 35.5 h average waiting time, 4.76 locations/user,
+//! and 23,462 / 10,031 / 766 / 180 users above 50/100/500/1000 tweets.
+
+use tweetmob_bench::{print_header, standard_dataset};
+use tweetmob_data::DatasetSummary;
+use tweetmob_geo::AUSTRALIA_BBOX;
+
+fn main() {
+    let (cfg, ds) = standard_dataset();
+    print_header("TABLE I — dataset statistics", &cfg, &ds);
+
+    // The paper filters by the Australia bounding box before computing
+    // the statistics; the generator already confines tweets to it, but
+    // the filter stays in the pipeline for fidelity.
+    let filtered = ds.filter_bbox(&AUSTRALIA_BBOX);
+    let s = DatasetSummary::of(&filtered);
+    println!("{s}");
+    println!();
+    println!("paper reference: 6,304,176 tweets | 473,956 users | 13.3 tweets/user");
+    println!("                 35.5 h avg waiting | 4.76 locations/user");
+    println!("                 >50/>100/>500/>1000: 23462/10031/766/180");
+    println!();
+    println!(
+        "scaled to paper user count, our tweet volume would be ~{:.1} M",
+        s.avg_tweets_per_user * 473_956.0 / 1e6
+    );
+}

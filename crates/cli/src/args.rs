@@ -1,0 +1,161 @@
+//! A small, dependency-free flag parser.
+//!
+//! The CLI needs `--flag value`, `--switch` and positional arguments —
+//! nothing a full parser generator is worth a dependency for. Flags may
+//! appear in any order; unknown flags are errors (typos should not
+//! silently become defaults).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals in order, flags by name.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `valued` lists flags that take a value;
+    /// `switches` lists boolean flags. Anything else starting with `--`
+    /// is rejected.
+    pub fn parse(
+        raw: impl IntoIterator<Item = String>,
+        valued: &[&str],
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                // Allow --flag=value as well as --flag value.
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if valued.contains(&name) {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => iter
+                            .next()
+                            .ok_or_else(|| ArgError(format!("--{name} needs a value")))?,
+                    };
+                    out.flags.insert(name.to_string(), value);
+                } else if switches.contains(&name) {
+                    if inline.is_some() {
+                        return Err(ArgError(format!("--{name} takes no value")));
+                    }
+                    out.switches.push(name.to_string());
+                } else {
+                    return Err(ArgError(format!("unknown flag --{name}")));
+                }
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parsed value of a flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgError(format!("--{name} {v:?}: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], valued: &[&str], switches: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(args.iter().map(|s| s.to_string()), valued, switches)
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let a = parse(
+            &["generate", "--users", "500", "out.jsonl", "--verbose"],
+            &["users"],
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("generate"));
+        assert_eq!(a.positional(1), Some("out.jsonl"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.get("users"), Some("500"));
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn equals_syntax_supported() {
+        let a = parse(&["--users=42"], &["users"], &[]).unwrap();
+        assert_eq!(a.get_parsed("users", 0u32).unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus"], &["users"], &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["--users"], &["users"], &[]).is_err());
+    }
+
+    #[test]
+    fn switch_with_value_rejected() {
+        assert!(parse(&["--verbose=yes"], &[], &["verbose"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag() {
+        let a = parse(&["--users", "many"], &["users"], &[]).unwrap();
+        let err = a.get_parsed("users", 0u32).unwrap_err();
+        assert!(err.0.contains("users"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&[], &["users"], &[]).unwrap();
+        assert_eq!(a.get_parsed("users", 7u32).unwrap(), 7);
+    }
+}

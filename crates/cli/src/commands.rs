@@ -1,0 +1,250 @@
+//! Command implementations.
+
+use crate::args::Args;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use tweetmob_core::{
+    deterrence_ablation, AreaSet, Experiment, PopulationSource, Scale,
+};
+use tweetmob_data::{io as dataio, DatasetSummary, TweetDataset};
+use tweetmob_epidemic::{MobilityNetwork, OutbreakScenario, SeirParams};
+use tweetmob_models::InterveningPopulation;
+use tweetmob_synth::{GeneratorConfig, TweetGenerator};
+
+type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+/// `tweetmob export <dataset> <out.json>` — machine-readable results of
+/// every scale's population and mobility experiment.
+pub fn export(args: &Args) -> Result<()> {
+    let ds = dataset_arg(args)?;
+    let out_path = args.positional(1).ok_or("missing output path")?;
+    let exp = Experiment::new(&ds);
+    let mut scales = Vec::new();
+    for scale in Scale::ALL {
+        let population = exp.population_correlation(scale)?;
+        let mobility = exp.mobility(scale)?;
+        scales.push(serde_json::json!({
+            "scale": scale.name(),
+            "search_radius_km": scale.search_radius_km(),
+            "population": population,
+            "mobility": {
+                "od_total": mobility.od_total,
+                "nonzero_pairs": mobility.nonzero_pairs,
+                "gravity4": mobility.gravity4,
+                "gravity2": mobility.gravity2,
+                "radiation": mobility.radiation,
+                "opportunities": mobility.opportunities,
+                "evaluations": mobility.evaluations,
+            },
+        }));
+    }
+    let pooled = exp.pooled_population()?;
+    let doc = serde_json::json!({
+        "n_tweets": ds.n_tweets(),
+        "n_users": ds.n_users(),
+        "summary": DatasetSummary::of(&ds),
+        "pooled_population_correlation": pooled.pooled,
+        "scales": scales,
+    });
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    serde_json::to_writer_pretty(BufWriter::new(file), &doc)?;
+    println!("wrote experiment results to {out_path}");
+    Ok(())
+}
+
+/// Loads a dataset by extension: `.csv` → CSV, `.twb` → binary,
+/// anything else → JSONL.
+fn load(path: &str) -> Result<TweetDataset> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let ds = if path.ends_with(".csv") {
+        dataio::read_csv(reader)?
+    } else if path.ends_with(".twb") {
+        tweetmob_data::binary::read_binary(reader)?
+    } else {
+        dataio::read_jsonl(reader)?
+    };
+    if ds.is_empty() {
+        return Err(format!("{path} contains no tweets").into());
+    }
+    Ok(ds)
+}
+
+fn dataset_arg(args: &Args) -> Result<TweetDataset> {
+    let path = args
+        .positional(0)
+        .ok_or("missing dataset argument")?;
+    load(path)
+}
+
+fn scale_arg(args: &Args) -> Result<Scale> {
+    match args.get("scale").unwrap_or("national") {
+        "national" => Ok(Scale::National),
+        "state" => Ok(Scale::State),
+        "metro" | "metropolitan" => Ok(Scale::Metropolitan),
+        other => Err(format!("unknown scale {other:?} (national|state|metro)").into()),
+    }
+}
+
+/// `tweetmob generate <out> [--users N] [--seed N]`
+pub fn generate(args: &Args) -> Result<()> {
+    let out_path = args.positional(0).ok_or("missing output path")?;
+    let mut cfg = GeneratorConfig::default();
+    cfg.n_users = args.get_parsed("users", cfg.n_users)?;
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    let ds = TweetGenerator::try_new(cfg)?.generate();
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    if out_path.ends_with(".csv") {
+        dataio::write_csv(&ds, writer)?;
+    } else if out_path.ends_with(".twb") {
+        tweetmob_data::binary::write_binary(&ds, writer)?;
+    } else {
+        dataio::write_jsonl(&ds, writer)?;
+    }
+    println!(
+        "wrote {} tweets from {} users to {out_path}",
+        ds.n_tweets(),
+        ds.n_users()
+    );
+    Ok(())
+}
+
+/// `tweetmob summary <dataset>`
+pub fn summary(args: &Args) -> Result<()> {
+    let ds = dataset_arg(args)?;
+    println!("{}", DatasetSummary::of(&ds));
+    Ok(())
+}
+
+/// `tweetmob population <dataset> [--scale S] [--radius KM]`
+pub fn population(args: &Args) -> Result<()> {
+    let ds = dataset_arg(args)?;
+    let scale = scale_arg(args)?;
+    let radius = args.get_parsed("radius", scale.search_radius_km())?;
+    let exp = Experiment::new(&ds);
+    let pop = exp.population_correlation_with_radius(scale, radius)?;
+    println!("{} scale, ε = {radius} km", scale.name());
+    println!("{pop}");
+    Ok(())
+}
+
+/// `tweetmob mobility <dataset> [--scale S] [--census] [--extended]`
+pub fn mobility(args: &Args) -> Result<()> {
+    let ds = dataset_arg(args)?;
+    let scale = scale_arg(args)?;
+    let source = if args.has("census") {
+        PopulationSource::Census
+    } else {
+        PopulationSource::Twitter
+    };
+    let exp = Experiment::new(&ds);
+    let report = exp.mobility_with(
+        &AreaSet::of_scale(scale),
+        source,
+        scale.name().to_string(),
+    )?;
+    print!("{report}");
+    if args.has("extended") {
+        let ablation = deterrence_ablation(&report);
+        for e in ablation.evaluations() {
+            println!("  {e}");
+        }
+        if let Ok((iters, _)) = &ablation.ipf {
+            println!("  (IPF converged in {iters} sweeps)");
+        }
+    }
+    Ok(())
+}
+
+/// `tweetmob epidemic <dataset> [--beta X] [--gamma X] [--sigma X]
+/// [--seed-city NAME] [--days N] [--restrict DAY:FACTOR]`
+pub fn epidemic(args: &Args) -> Result<()> {
+    let ds = dataset_arg(args)?;
+    let beta: f64 = args.get_parsed("beta", 0.5)?;
+    let gamma: f64 = args.get_parsed("gamma", 0.2)?;
+    let days: f64 = args.get_parsed("days", 365.0)?;
+    let seed_city = args.get("seed-city").unwrap_or("Sydney");
+
+    // Fit gravity on national flows and build the network over census
+    // populations (the paper's proposed pipeline).
+    let exp = Experiment::new(&ds);
+    let report = exp.mobility(Scale::National)?;
+    let areas = AreaSet::of_scale(Scale::National);
+    let seed_patch = areas
+        .areas()
+        .iter()
+        .position(|a| a.name.eq_ignore_ascii_case(seed_city))
+        .ok_or_else(|| format!("unknown seed city {seed_city:?}"))?;
+
+    let populations = areas.census_populations();
+    let n = areas.len();
+    let distances: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| areas.distance_km(i, j)).collect())
+        .collect();
+    let centers = areas.centers();
+    let calc = InterveningPopulation::build(&centers, &populations);
+    let intervening: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { calc.s(i, j) })
+                .collect()
+        })
+        .collect();
+    let network = MobilityNetwork::from_model(
+        &report.gravity2,
+        populations,
+        &distances,
+        &intervening,
+        0.02,
+    )?;
+
+    let mut scenario = OutbreakScenario::new(network, beta, gamma).seed(seed_patch, 20.0);
+    let immune: f64 = args.get_parsed("immune", 0.0)?;
+    if immune > 0.0 {
+        scenario = scenario.with_initial_immunity(immune);
+    }
+    if let Some(sigma) = args.get("sigma") {
+        let sigma: f64 = sigma
+            .parse()
+            .map_err(|e| format!("--sigma: {e}"))?;
+        scenario = scenario.with_seir(SeirParams { sigma });
+    }
+    if let Some(spec) = args.get("restrict") {
+        let (day, factor) = spec
+            .split_once(':')
+            .ok_or("--restrict wants DAY:FACTOR, e.g. 30:0.1")?;
+        scenario = scenario.with_travel_restriction(
+            day.parse().map_err(|e| format!("--restrict day: {e}"))?,
+            factor.parse().map_err(|e| format!("--restrict factor: {e}"))?,
+        );
+    }
+    let timeline = scenario.run_deterministic(days, 0.25)?;
+
+    println!(
+        "outbreak seeded in {seed_city} (β = {beta}, γ = {gamma}, R0 ≈ {:.1}), gravity γ = {:.2}",
+        beta / gamma,
+        report.gravity2.gamma
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>14}",
+        "city", "arrival(day)", "peak infected", "final size"
+    );
+    let mut rows: Vec<(usize, Option<f64>)> = (0..n)
+        .map(|p| (p, timeline.arrival_time(p, 100.0)))
+        .collect();
+    rows.sort_by(|a, b| {
+        a.1.unwrap_or(f64::INFINITY)
+            .total_cmp(&b.1.unwrap_or(f64::INFINITY))
+    });
+    for (p, arrival) in rows {
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>14.0}",
+            areas.areas()[p].name,
+            arrival.map_or("never".into(), |t| format!("{t:.0}")),
+            timeline.peak_infected(p),
+            timeline.final_size(p)
+        );
+    }
+    Ok(())
+}

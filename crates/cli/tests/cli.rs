@@ -1,0 +1,179 @@
+//! End-to-end tests of the `tweetmob` binary: real process spawns over
+//! temp files, covering every subcommand and the error paths a user hits
+//! first.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tweetmob"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tweetmob-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("spawn tweetmob")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for args in [&["help"][..], &["--help"][..], &[][..]] {
+        let out = run(args);
+        assert!(out.status.success(), "{args:?}");
+        assert!(stdout(&out).contains("USAGE"));
+        assert!(stdout(&out).contains("generate"));
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+    assert!(stderr(&out).contains("help"));
+}
+
+#[test]
+fn generate_summary_population_mobility_pipeline() {
+    let path = tmp("pipeline.jsonl");
+    let path_str = path.to_str().unwrap();
+
+    // generate
+    let out = run(&["generate", path_str, "--users", "1500", "--seed", "11"]);
+    assert!(out.status.success(), "generate: {}", stderr(&out));
+    assert!(stdout(&out).contains("1500 users"));
+
+    // summary
+    let out = run(&["summary", path_str]);
+    assert!(out.status.success(), "summary: {}", stderr(&out));
+    assert!(stdout(&out).contains("No. unique users   : 1500"));
+
+    // population (national default)
+    let out = run(&["population", path_str]);
+    assert!(out.status.success(), "population: {}", stderr(&out));
+    assert!(stdout(&out).contains("Sydney"));
+    assert!(stdout(&out).contains("r(log)"));
+
+    // mobility with extensions
+    let out = run(&["mobility", path_str, "--scale", "national", "--extended"]);
+    assert!(out.status.success(), "mobility: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Gravity 2Param"));
+    assert!(text.contains("Radiation"));
+    assert!(text.contains("Gravity IPF"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_format_roundtrips_via_cli() {
+    let path = tmp("roundtrip.twb");
+    let path_str = path.to_str().unwrap();
+    let out = run(&["generate", path_str, "--users", "400", "--seed", "5"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["summary", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("No. unique users   : 400"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn csv_format_roundtrips_via_cli() {
+    let path = tmp("roundtrip.csv");
+    let path_str = path.to_str().unwrap();
+    let out = run(&["generate", path_str, "--users", "300", "--seed", "6"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let head = std::fs::read_to_string(&path).unwrap();
+    assert!(head.starts_with("user,time_secs,lat,lon"));
+    let out = run(&["summary", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn epidemic_command_runs_with_restriction() {
+    let path = tmp("epi.jsonl");
+    let path_str = path.to_str().unwrap();
+    assert!(run(&["generate", path_str, "--users", "3000", "--seed", "8"])
+        .status
+        .success());
+    let out = run(&[
+        "epidemic",
+        path_str,
+        "--beta",
+        "0.5",
+        "--gamma",
+        "0.2",
+        "--days",
+        "120",
+        "--restrict",
+        "30:0.1",
+        "--seed-city",
+        "Melbourne",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Melbourne"));
+    assert!(text.contains("arrival(day)"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn export_writes_machine_readable_results() {
+    let data = tmp("export.jsonl");
+    let out_json = tmp("export-results.json");
+    assert!(run(&["generate", data.to_str().unwrap(), "--users", "4000", "--seed", "13"])
+        .status
+        .success());
+    let out = run(&["export", data.to_str().unwrap(), out_json.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&out_json).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(doc["n_users"], 4000);
+    assert_eq!(doc["scales"].as_array().unwrap().len(), 3);
+    assert_eq!(doc["scales"][0]["scale"], "National");
+    assert!(doc["scales"][0]["mobility"]["gravity2"]["gamma"].is_number());
+    assert!(doc["pooled_population_correlation"]["r"].as_f64().unwrap() > 0.5);
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&out_json).ok();
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = run(&["summary", "/nonexistent/nowhere.jsonl"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot open"));
+}
+
+#[test]
+fn bad_flag_values_report_the_flag() {
+    let out = run(&["generate", "/tmp/x.jsonl", "--users", "many"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("users"));
+
+    let path = tmp("flags.jsonl");
+    let path_str = path.to_str().unwrap();
+    assert!(run(&["generate", path_str, "--users", "200"]).status.success());
+    let out = run(&["population", path_str, "--scale", "galactic"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown scale"));
+    let out = run(&["epidemic", path_str, "--restrict", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("DAY:FACTOR"));
+    let out = run(&["epidemic", path_str, "--seed-city", "Atlantis"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("Atlantis"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,279 @@
+//! Study scales and area sets with point-to-area assignment.
+
+use tweetmob_geo::{equirectangular_km, haversine_km, Point};
+use tweetmob_synth::{Area, NATIONAL_TOP20, NSW_TOP20, SYDNEY_SUBURBS_TOP20};
+
+/// The paper's three geographic scales (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// 20 most populated Australian cities; ε = 50 km.
+    National,
+    /// 20 most populated NSW cities; ε = 25 km.
+    State,
+    /// 20 most populated Sydney suburbs; ε = 2 km.
+    Metropolitan,
+}
+
+impl Scale {
+    /// All three scales, in paper order.
+    pub const ALL: [Scale; 3] = [Scale::National, Scale::State, Scale::Metropolitan];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::National => "National",
+            Scale::State => "State",
+            Scale::Metropolitan => "Metropolitan",
+        }
+    }
+
+    /// The paper's search radius ε for this scale, km.
+    pub fn search_radius_km(self) -> f64 {
+        match self {
+            Scale::National => 50.0,
+            Scale::State => 25.0,
+            Scale::Metropolitan => 2.0,
+        }
+    }
+
+    /// The 20 areas studied at this scale.
+    pub fn areas(self) -> &'static [Area] {
+        match self {
+            Scale::National => &NATIONAL_TOP20,
+            Scale::State => &NSW_TOP20,
+            Scale::Metropolitan => &SYDNEY_SUBURBS_TOP20,
+        }
+    }
+}
+
+/// A set of areas with a search radius: the unit every experiment
+/// operates on.
+#[derive(Debug, Clone)]
+pub struct AreaSet {
+    areas: Vec<Area>,
+    radius_km: f64,
+    /// Precomputed pairwise centre distances, row-major.
+    distances: Vec<f64>,
+}
+
+impl AreaSet {
+    /// Builds the canonical area set of a scale.
+    pub fn of_scale(scale: Scale) -> Self {
+        Self::new(scale.areas().to_vec(), scale.search_radius_km())
+    }
+
+    /// Builds the area set of a scale with a custom search radius (the
+    /// paper's Fig. 3(b) uses the metropolitan areas with ε = 0.5 km).
+    pub fn of_scale_with_radius(scale: Scale, radius_km: f64) -> Self {
+        Self::new(scale.areas().to_vec(), radius_km)
+    }
+
+    /// Builds a custom area set.
+    ///
+    /// # Panics
+    ///
+    /// If `areas` is empty or `radius_km` is not positive.
+    pub fn new(areas: Vec<Area>, radius_km: f64) -> Self {
+        assert!(!areas.is_empty(), "area set cannot be empty");
+        assert!(radius_km > 0.0, "search radius must be positive");
+        let n = areas.len();
+        let mut distances = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = haversine_km(areas[i].center, areas[j].center);
+                distances[i * n + j] = d;
+                distances[j * n + i] = d;
+            }
+        }
+        Self {
+            areas,
+            radius_km,
+            distances,
+        }
+    }
+
+    /// The areas, in construction order.
+    #[inline]
+    pub fn areas(&self) -> &[Area] {
+        &self.areas
+    }
+
+    /// Number of areas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// The search radius ε, km.
+    #[inline]
+    pub fn radius_km(&self) -> f64 {
+        self.radius_km
+    }
+
+    /// Centre-to-centre distance between areas `i` and `j`, km.
+    ///
+    /// # Panics
+    ///
+    /// If an index is out of range.
+    #[inline]
+    pub fn distance_km(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len() && j < self.len(), "area index out of range");
+        self.distances[i * self.len() + j]
+    }
+
+    /// Mean pairwise centre distance (the paper quotes 1422 / 341 /
+    /// 7.5 km for its three scales).
+    pub fn mean_pairwise_distance_km(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += self.distances[i * n + j];
+            }
+        }
+        sum / (n * (n - 1) / 2) as f64
+    }
+
+    /// Assigns a point to the nearest area whose centre is within ε, or
+    /// `None` when no area covers it.
+    ///
+    /// A cheap equirectangular pre-filter at 1.05× the radius rejects
+    /// far-away areas before the exact haversine test (the extraction
+    /// loop runs this for every tweet).
+    pub fn assign(&self, p: Point) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        let prefilter = self.radius_km * 1.05 + 1.0;
+        for (i, a) in self.areas.iter().enumerate() {
+            if equirectangular_km(a.center, p) > prefilter {
+                continue;
+            }
+            let d = haversine_km(a.center, p);
+            if d <= self.radius_km && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Census populations as `f64`, aligned with [`AreaSet::areas`].
+    pub fn census_populations(&self) -> Vec<f64> {
+        self.areas.iter().map(|a| a.population as f64).collect()
+    }
+
+    /// Area centres, aligned with [`AreaSet::areas`].
+    pub fn centers(&self) -> Vec<Point> {
+        self.areas.iter().map(|a| a.center).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_constants_match_paper() {
+        assert_eq!(Scale::National.search_radius_km(), 50.0);
+        assert_eq!(Scale::State.search_radius_km(), 25.0);
+        assert_eq!(Scale::Metropolitan.search_radius_km(), 2.0);
+        for s in Scale::ALL {
+            assert_eq!(s.areas().len(), 20);
+        }
+        assert_eq!(Scale::National.name(), "National");
+    }
+
+    #[test]
+    fn mean_pairwise_distances_ordered_like_paper() {
+        let nat = AreaSet::of_scale(Scale::National).mean_pairwise_distance_km();
+        let sta = AreaSet::of_scale(Scale::State).mean_pairwise_distance_km();
+        let met = AreaSet::of_scale(Scale::Metropolitan).mean_pairwise_distance_km();
+        assert!(nat > 900.0 && nat < 2_000.0, "national {nat}");
+        assert!(sta > 200.0 && sta < 500.0, "state {sta}");
+        assert!(met > 4.0 && met < 25.0, "metro {met}");
+    }
+
+    #[test]
+    fn assign_inside_radius() {
+        let set = AreaSet::of_scale(Scale::National);
+        // Exact Sydney centre.
+        let sydney = set.areas()[0].center;
+        assert_eq!(set.assign(sydney), Some(0));
+        // Parramatta (~20 km west of Sydney CBD) still inside 50 km.
+        let parramatta = Point::new_unchecked(-33.8150, 151.0010);
+        assert_eq!(set.assign(parramatta), Some(0));
+    }
+
+    #[test]
+    fn assign_outside_any_radius_is_none() {
+        let set = AreaSet::of_scale(Scale::Metropolitan);
+        // Alice Springs is nowhere near any Sydney suburb.
+        let alice = Point::new_unchecked(-23.6980, 133.8807);
+        assert_eq!(set.assign(alice), None);
+        // 5 km from the nearest suburb centre at ε = 2 km is also out.
+        let offshore = Point::new_unchecked(-33.8688, 151.40);
+        assert_eq!(set.assign(offshore), None);
+    }
+
+    #[test]
+    fn assign_prefers_nearest_when_radii_overlap() {
+        // Newcastle and Sydney are ~117 km apart; with ε = 100 km a point
+        // 30 km from Newcastle and ~90 km from Sydney must pick Newcastle.
+        let set = AreaSet::new(
+            vec![Scale::National.areas()[0], Scale::National.areas()[6]],
+            100.0,
+        );
+        let near_newcastle = Point::new_unchecked(-33.15, 151.60);
+        assert_eq!(set.assign(near_newcastle), Some(1));
+    }
+
+    #[test]
+    fn smaller_radius_rejects_more() {
+        let wide = AreaSet::of_scale_with_radius(Scale::Metropolitan, 2.0);
+        let narrow = AreaSet::of_scale_with_radius(Scale::Metropolitan, 0.5);
+        // 1 km from the Bondi centre: inside 2 km, outside 0.5 km.
+        let near_bondi = Point::new_unchecked(-33.8915, 151.2875);
+        assert_eq!(wide.assign(near_bondi), Some(19));
+        assert_eq!(narrow.assign(near_bondi), None);
+    }
+
+    #[test]
+    fn distances_symmetric_and_consistent() {
+        let set = AreaSet::of_scale(Scale::National);
+        let d_sm = set.distance_km(0, 1); // Sydney–Melbourne
+        assert!((d_sm - 713.0).abs() < 15.0, "Sydney-Melbourne {d_sm}");
+        for i in 0..set.len() {
+            assert_eq!(set.distance_km(i, i), 0.0);
+            for j in 0..set.len() {
+                assert_eq!(set.distance_km(i, j), set.distance_km(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "area set cannot be empty")]
+    fn empty_area_set_panics() {
+        AreaSet::new(Vec::new(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "search radius must be positive")]
+    fn zero_radius_panics() {
+        AreaSet::new(Scale::National.areas().to_vec(), 0.0);
+    }
+
+    #[test]
+    fn census_and_centers_align() {
+        let set = AreaSet::of_scale(Scale::State);
+        assert_eq!(set.census_populations().len(), 20);
+        assert_eq!(set.centers().len(), 20);
+        assert_eq!(set.census_populations()[0], 4_757_000.0); // Sydney
+    }
+}

@@ -1,0 +1,208 @@
+//! Trip extraction from tweet streams.
+//!
+//! §IV of the paper: "we extract the mobility from Tweets by counting how
+//! many pairs of consecutive Tweets appear first at the source area and
+//! then the destination area". Consecutive means consecutive *within one
+//! user's time-ordered stream*; pairs where either endpoint resolves to
+//! no study area, or both resolve to the same area, contribute nothing.
+
+use crate::areaset::AreaSet;
+use crate::odmatrix::OdMatrix;
+use tweetmob_data::TweetDataset;
+
+/// Extracts the directed OD matrix of a dataset over an area set.
+///
+/// Users are processed independently (their streams are already
+/// time-ordered slices); area assignment uses [`AreaSet::assign`] —
+/// nearest centre within the search radius. Work is split across threads
+/// per user block; the result is identical to the serial order because
+/// each trip increments an independent cell count.
+pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
+    let users: Vec<_> = dataset.iter_users().collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(users.len().max(1));
+    if threads <= 1 || users.len() < 64 {
+        let mut od = OdMatrix::new(areas.len());
+        for view in &users {
+            extract_user(view.points, areas, &mut od);
+        }
+        return od;
+    }
+    let chunk = users.len().div_ceil(threads);
+    let mut merged = OdMatrix::new(areas.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .map(|block| {
+                scope.spawn(move |_| {
+                    let mut od = OdMatrix::new(areas.len());
+                    for view in block {
+                        extract_user(view.points, areas, &mut od);
+                    }
+                    od
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("trip extraction worker panicked"));
+        }
+    })
+    .expect("trip extraction scope failed");
+    merged
+}
+
+/// Extracts one user's trips into `od`.
+fn extract_user(points: &[tweetmob_geo::Point], areas: &AreaSet, od: &mut OdMatrix) {
+    let mut prev: Option<usize> = None;
+    for &p in points {
+        let cur = areas.assign(p);
+        if let (Some(a), Some(b)) = (prev, cur) {
+            if a != b {
+                od.record(a, b);
+            }
+        }
+        prev = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areaset::Scale;
+    use tweetmob_data::{Timestamp, Tweet, UserId};
+    use tweetmob_geo::Point;
+
+    fn tweet(user: u32, secs: i64, lat: f64, lon: f64) -> Tweet {
+        Tweet::new(
+            UserId(user),
+            Timestamp::from_secs(secs),
+            Point::new_unchecked(lat, lon),
+        )
+    }
+
+    fn national() -> AreaSet {
+        AreaSet::of_scale(Scale::National)
+    }
+
+    // Area indices at national scale: 0 Sydney, 1 Melbourne, 2 Brisbane.
+    const SYD: (f64, f64) = (-33.8688, 151.2093);
+    const MEL: (f64, f64) = (-37.8136, 144.9631);
+    const BNE: (f64, f64) = (-27.4698, 153.0251);
+
+    #[test]
+    fn consecutive_pair_in_two_areas_is_one_trip() {
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(1, 200, MEL.0, MEL.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.count(0, 1), 1);
+        assert_eq!(od.total(), 1);
+    }
+
+    #[test]
+    fn direction_follows_time_order_not_input_order() {
+        // Tweets supplied out of order; the dataset sorts by time.
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 900, SYD.0, SYD.1),
+            tweet(1, 100, MEL.0, MEL.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.count(1, 0), 1, "Melbourne → Sydney");
+        assert_eq!(od.count(0, 1), 0);
+    }
+
+    #[test]
+    fn same_area_pairs_are_not_trips() {
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(1, 200, SYD.0 + 0.05, SYD.1 + 0.05), // still inside 50 km
+            tweet(1, 300, MEL.0, MEL.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.total(), 1);
+        assert_eq!(od.count(0, 1), 1);
+    }
+
+    #[test]
+    fn unassigned_tweets_break_the_chain() {
+        // Sydney → outback → Melbourne: the outback tweet resolves to no
+        // area, so neither pair spans two areas.
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(1, 200, -25.0, 135.0), // middle of nowhere
+            tweet(1, 300, MEL.0, MEL.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.total(), 0);
+    }
+
+    #[test]
+    fn chains_count_every_hop() {
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(1, 200, MEL.0, MEL.1),
+            tweet(1, 300, BNE.0, BNE.1),
+            tweet(1, 400, SYD.0, SYD.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.count(0, 1), 1);
+        assert_eq!(od.count(1, 2), 1);
+        assert_eq!(od.count(2, 0), 1);
+        assert_eq!(od.total(), 3);
+    }
+
+    #[test]
+    fn users_do_not_leak_trips_across_streams() {
+        // User 1 ends in Sydney; user 2 starts in Melbourne. No trip.
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(2, 200, MEL.0, MEL.1),
+        ]);
+        let od = extract_trips(&ds, &national());
+        assert_eq!(od.total(), 0);
+    }
+
+    #[test]
+    fn many_users_accumulate() {
+        let mut tweets = Vec::new();
+        for u in 0..100 {
+            tweets.push(tweet(u, 100, SYD.0, SYD.1));
+            tweets.push(tweet(u, 200, MEL.0, MEL.1));
+        }
+        let od = extract_trips(&TweetDataset::from_tweets(tweets), &national());
+        assert_eq!(od.count(0, 1), 100);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Enough users to trigger the threaded path; compare against a
+        // manual serial extraction.
+        let mut tweets = Vec::new();
+        for u in 0..500 {
+            let (a, b) = if u % 3 == 0 { (SYD, MEL) } else { (BNE, SYD) };
+            tweets.push(tweet(u, 100, a.0, a.1));
+            tweets.push(tweet(u, 200, b.0, b.1));
+            if u % 5 == 0 {
+                tweets.push(tweet(u, 300, MEL.0, MEL.1));
+            }
+        }
+        let ds = TweetDataset::from_tweets(tweets);
+        let areas = national();
+        let parallel = extract_trips(&ds, &areas);
+        let mut serial = OdMatrix::new(areas.len());
+        for view in ds.iter_users() {
+            super::extract_user(view.points, &areas, &mut serial);
+        }
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_dataset_empty_matrix() {
+        let od = extract_trips(&TweetDataset::from_tweets(Vec::new()), &national());
+        assert_eq!(od.total(), 0);
+        assert_eq!(od.n_areas(), 20);
+    }
+}

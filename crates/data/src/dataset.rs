@@ -1,0 +1,369 @@
+//! Columnar tweet storage sorted by `(user, time)`.
+
+use crate::time::Timestamp;
+use crate::tweet::{Tweet, UserId};
+use std::collections::HashMap;
+use tweetmob_geo::{BoundingBox, Point};
+
+/// A struct-of-arrays tweet dataset, sorted by `(user, time)`.
+///
+/// Parallel columns (`users`, `times`, `points`) rather than a `Vec<Tweet>`
+/// keep the per-column scans (density maps over points, waiting times over
+/// timestamps) sequential in memory. User offsets form a CSR layout so a
+/// user's tweets are one contiguous, time-ordered slice.
+#[derive(Debug, Clone, Default)]
+pub struct TweetDataset {
+    users: Vec<UserId>,
+    times: Vec<Timestamp>,
+    points: Vec<Point>,
+    /// Distinct user ids, ascending; `user_starts[i]..user_starts[i+1]`
+    /// are the row indices of `unique_users[i]`.
+    unique_users: Vec<UserId>,
+    user_starts: Vec<u32>,
+}
+
+/// A borrowed view of one user's time-ordered tweets.
+#[derive(Debug, Clone, Copy)]
+pub struct UserTweets<'a> {
+    /// The user the view belongs to.
+    pub user: UserId,
+    /// Tweet timestamps, ascending.
+    pub times: &'a [Timestamp],
+    /// Tweet locations, parallel to `times`.
+    pub points: &'a [Point],
+}
+
+impl UserTweets<'_> {
+    /// Number of tweets in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the view is empty (never true for views produced by
+    /// [`TweetDataset::user_tweets`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl TweetDataset {
+    /// Builds a dataset from unordered tweets.
+    ///
+    /// Sorting is by `(user, time)` with ties kept in input order
+    /// (stable sort), so two tweets with identical timestamps keep a
+    /// deterministic relative order.
+    pub fn from_tweets(mut tweets: Vec<Tweet>) -> Self {
+        tweets.sort_by_key(|t| (t.user, t.time));
+        let mut users = Vec::with_capacity(tweets.len());
+        let mut times = Vec::with_capacity(tweets.len());
+        let mut points = Vec::with_capacity(tweets.len());
+        let mut unique_users = Vec::new();
+        let mut user_starts = Vec::new();
+        for (i, t) in tweets.iter().enumerate() {
+            if unique_users.last() != Some(&t.user) {
+                unique_users.push(t.user);
+                user_starts.push(i as u32);
+            }
+            users.push(t.user);
+            times.push(t.time);
+            points.push(t.location);
+        }
+        user_starts.push(tweets.len() as u32);
+        Self {
+            users,
+            times,
+            points,
+            unique_users,
+            user_starts,
+        }
+    }
+
+    /// Total number of tweets.
+    #[inline]
+    pub fn n_tweets(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of distinct users.
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.unique_users.len()
+    }
+
+    /// Whether the dataset holds no tweets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// All tweet locations, in `(user, time)` order.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// All tweet timestamps, in `(user, time)` order.
+    #[inline]
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// The user id of each row, in `(user, time)` order.
+    #[inline]
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Distinct users, ascending.
+    #[inline]
+    pub fn unique_users(&self) -> &[UserId] {
+        &self.unique_users
+    }
+
+    /// The time-ordered tweets of `user`, or `None` if unknown.
+    pub fn user_tweets(&self, user: UserId) -> Option<UserTweets<'_>> {
+        let i = self.unique_users.binary_search(&user).ok()?;
+        let lo = self.user_starts[i] as usize;
+        let hi = self.user_starts[i + 1] as usize;
+        Some(UserTweets {
+            user,
+            times: &self.times[lo..hi],
+            points: &self.points[lo..hi],
+        })
+    }
+
+    /// Iterates over every user's tweet view, in ascending user order.
+    pub fn iter_users(&self) -> impl Iterator<Item = UserTweets<'_>> + '_ {
+        self.unique_users.iter().enumerate().map(move |(i, &u)| {
+            let lo = self.user_starts[i] as usize;
+            let hi = self.user_starts[i + 1] as usize;
+            UserTweets {
+                user: u,
+                times: &self.times[lo..hi],
+                points: &self.points[lo..hi],
+            }
+        })
+    }
+
+    /// Iterates over every tweet, in `(user, time)` order.
+    pub fn iter_tweets(&self) -> impl Iterator<Item = Tweet> + '_ {
+        (0..self.n_tweets()).map(move |i| Tweet {
+            user: self.users[i],
+            time: self.times[i],
+            location: self.points[i],
+        })
+    }
+
+    /// A new dataset containing only tweets inside `bbox` — the paper's
+    /// Table I filter ("we use the longitude and latitude ranges to filter
+    /// the Tweets of interest"). Users whose every tweet falls outside
+    /// disappear entirely.
+    pub fn filter_bbox(&self, bbox: &BoundingBox) -> TweetDataset {
+        let tweets: Vec<Tweet> = self
+            .iter_tweets()
+            .filter(|t| bbox.contains(t.location))
+            .collect();
+        TweetDataset::from_tweets(tweets)
+    }
+
+    /// A new dataset containing only tweets with `start <= time <= end`
+    /// — the slicing primitive behind the temporal-responsiveness
+    /// analysis (can a single month of tweets estimate population?).
+    pub fn filter_time_range(&self, start: Timestamp, end: Timestamp) -> TweetDataset {
+        let tweets: Vec<Tweet> = self
+            .iter_tweets()
+            .filter(|t| t.time.within(start, end))
+            .collect();
+        TweetDataset::from_tweets(tweets)
+    }
+
+    /// Number of tweets per user, aligned with [`TweetDataset::unique_users`].
+    pub fn tweets_per_user(&self) -> Vec<u32> {
+        self.user_starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+
+    /// All waiting times (seconds between consecutive tweets of the same
+    /// user), pooled over users. The paper's Fig. 2(b) "DT" sample.
+    pub fn waiting_times_secs(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        for view in self.iter_users() {
+            for w in view.times.windows(2) {
+                out.push(w[1].seconds_since(w[0]));
+            }
+        }
+        out
+    }
+
+    /// Distinct locations per user, quantised to `grain_deg` degrees —
+    /// Table I's "Avg.no. locations/user" counts a user tweeting from the
+    /// same venue as one location, which raw float equality would miss.
+    pub fn distinct_locations_per_user(&self, grain_deg: f64) -> Vec<u32> {
+        let grain = grain_deg.max(1e-9);
+        let mut out = Vec::with_capacity(self.n_users());
+        let mut seen: HashMap<(i64, i64), ()> = HashMap::new();
+        for view in self.iter_users() {
+            seen.clear();
+            for p in view.points {
+                let key = (
+                    (p.lat / grain).round() as i64,
+                    (p.lon / grain).round() as i64,
+                );
+                seen.insert(key, ());
+            }
+            out.push(seen.len() as u32);
+        }
+        out
+    }
+}
+
+impl FromIterator<Tweet> for TweetDataset {
+    fn from_iter<I: IntoIterator<Item = Tweet>>(iter: I) -> Self {
+        Self::from_tweets(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(user: u32, secs: i64, lat: f64, lon: f64) -> Tweet {
+        Tweet::new(
+            UserId(user),
+            Timestamp::from_secs(secs),
+            Point::new_unchecked(lat, lon),
+        )
+    }
+
+    fn sample() -> TweetDataset {
+        TweetDataset::from_tweets(vec![
+            t(2, 50, -37.8, 145.0),
+            t(1, 4_000, -33.8, 151.1),
+            t(1, 100, -33.9, 151.2),
+            t(3, 10, -31.9, 115.9),
+            t(1, 9_000, -33.9, 151.2),
+        ])
+    }
+
+    #[test]
+    fn counts() {
+        let ds = sample();
+        assert_eq!(ds.n_tweets(), 5);
+        assert_eq!(ds.n_users(), 3);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn rows_sorted_by_user_then_time() {
+        let ds = sample();
+        let rows: Vec<(u32, i64)> = ds
+            .iter_tweets()
+            .map(|tw| (tw.user.0, tw.time.as_secs()))
+            .collect();
+        assert_eq!(rows, vec![(1, 100), (1, 4_000), (1, 9_000), (2, 50), (3, 10)]);
+    }
+
+    #[test]
+    fn user_views_are_time_ordered_slices() {
+        let ds = sample();
+        let v = ds.user_tweets(UserId(1)).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.times[0].as_secs(), 100);
+        assert_eq!(v.times[2].as_secs(), 9_000);
+        assert_eq!(v.points[0].lat, -33.9);
+        assert!(ds.user_tweets(UserId(99)).is_none());
+    }
+
+    #[test]
+    fn iter_users_covers_everyone_in_order() {
+        let ds = sample();
+        let ids: Vec<u32> = ds.iter_users().map(|v| v.user.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let total: usize = ds.iter_users().map(|v| v.len()).sum();
+        assert_eq!(total, ds.n_tweets());
+    }
+
+    #[test]
+    fn tweets_per_user_counts() {
+        let ds = sample();
+        assert_eq!(ds.tweets_per_user(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn waiting_times_pooled_per_user_only() {
+        let ds = sample();
+        let mut w = ds.waiting_times_secs();
+        w.sort_unstable();
+        // Only user 1 has consecutive pairs: 4000-100, 9000-4000.
+        assert_eq!(w, vec![3_900, 5_000]);
+    }
+
+    #[test]
+    fn filter_bbox_drops_outside_tweets_and_users() {
+        let ds = sample();
+        // Box around Sydney only.
+        let sydney_box = BoundingBox::new(-34.5, -33.0, 150.5, 151.5).unwrap();
+        let filtered = ds.filter_bbox(&sydney_box);
+        assert_eq!(filtered.n_tweets(), 3);
+        assert_eq!(filtered.n_users(), 1);
+        assert_eq!(filtered.unique_users(), &[UserId(1)]);
+    }
+
+    #[test]
+    fn distinct_locations_quantised() {
+        let ds = TweetDataset::from_tweets(vec![
+            t(1, 0, -33.90001, 151.20001), // same venue as next within 1e-3°
+            t(1, 10, -33.90002, 151.20003),
+            t(1, 20, -30.0, 140.0), // clearly different
+        ]);
+        assert_eq!(ds.distinct_locations_per_user(1e-3), vec![2]);
+        // At much finer grain the near-duplicates separate.
+        assert_eq!(ds.distinct_locations_per_user(1e-6), vec![3]);
+    }
+
+    #[test]
+    fn filter_time_range_is_inclusive_and_user_aware() {
+        let ds = sample();
+        let sliced = ds.filter_time_range(Timestamp::from_secs(50), Timestamp::from_secs(4_000));
+        // Keeps: u1@100, u1@4000, u2@50; drops u3@10 and u1@9000.
+        assert_eq!(sliced.n_tweets(), 3);
+        assert_eq!(sliced.n_users(), 2);
+        assert!(sliced.user_tweets(UserId(3)).is_none());
+        // An empty window yields an empty dataset.
+        let none = ds.filter_time_range(Timestamp::from_secs(100_000), Timestamp::from_secs(200_000));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let ds = TweetDataset::from_tweets(Vec::new());
+        assert!(ds.is_empty());
+        assert_eq!(ds.n_users(), 0);
+        assert!(ds.waiting_times_secs().is_empty());
+        assert!(ds.tweets_per_user().is_empty());
+        assert_eq!(ds.iter_users().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_kept() {
+        let ds = TweetDataset::from_tweets(vec![
+            t(1, 100, -33.0, 151.0),
+            t(1, 100, -34.0, 152.0),
+        ]);
+        assert_eq!(ds.n_tweets(), 2);
+        assert_eq!(ds.waiting_times_secs(), vec![0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ds: TweetDataset = vec![t(5, 1, 0.0, 0.0), t(4, 2, 1.0, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(ds.n_users(), 2);
+        assert_eq!(ds.unique_users(), &[UserId(4), UserId(5)]);
+    }
+}

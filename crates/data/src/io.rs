@@ -1,0 +1,385 @@
+//! Dataset serialisation: JSON Lines and CSV.
+//!
+//! JSONL is the interchange format (one tweet object per line — the shape
+//! real tweet-collection pipelines emit); CSV is provided for spreadsheet
+//! interop. Both stream through `BufRead`/`Write` so multi-gigabyte
+//! datasets never need to fit into one allocation beyond the decoded rows.
+
+use crate::dataset::TweetDataset;
+use crate::time::Timestamp;
+use crate::tweet::{Tweet, UserId};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use tweetmob_geo::Point;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed JSONL line.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Decoder message.
+        message: String,
+    },
+    /// Malformed CSV row.
+    Csv {
+        /// 1-based line number (header is line 1).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A row decoded fine but held an invalid coordinate.
+    BadCoordinate {
+        /// 1-based line number.
+        line: usize,
+        /// Validation failure.
+        source: tweetmob_geo::GeoError,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::Json { line, message } => write!(f, "line {line}: bad JSON: {message}"),
+            IoError::Csv { line, message } => write!(f, "line {line}: bad CSV: {message}"),
+            IoError::BadCoordinate { line, source } => {
+                write!(f, "line {line}: invalid coordinate: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::BadCoordinate { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes the dataset as JSON Lines (one tweet per line, `(user, time)`
+/// order).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_jsonl<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError> {
+    for t in ds.iter_tweets() {
+        // Tweet's Serialize impl produces flat JSON; a line per record.
+        serde_json::to_writer(&mut w, &t).map_err(|e| IoError::Json {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON Lines stream produced by [`write_jsonl`] (or any source
+/// emitting `{"user":…,"time":…,"location":{"lat":…,"lon":…}}` objects).
+/// Blank lines are skipped. Coordinates are validated.
+///
+/// # Errors
+///
+/// First malformed line aborts the read with its line number.
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
+    let mut tweets = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let t: Tweet = serde_json::from_str(trimmed).map_err(|e| IoError::Json {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        Point::new(t.location.lat, t.location.lon).map_err(|source| IoError::BadCoordinate {
+            line: i + 1,
+            source,
+        })?;
+        tweets.push(t);
+    }
+    Ok(TweetDataset::from_tweets(tweets))
+}
+
+/// CSV header emitted by [`write_csv`].
+pub const CSV_HEADER: &str = "user,time_secs,lat,lon";
+
+/// Writes the dataset as CSV with header `user,time_secs,lat,lon`.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_csv<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for t in ds.iter_tweets() {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            t.user.0,
+            t.time.as_secs(),
+            t.location.lat,
+            t.location.lon
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads CSV produced by [`write_csv`]. The header row is required and
+/// validated; fields never contain commas so no quoting dialect is needed.
+///
+/// # Errors
+///
+/// Bad header, wrong field count, unparseable numbers, or invalid
+/// coordinates — each with a line number.
+pub fn read_csv<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
+    let mut lines = r.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
+        Some((_, Ok(h))) => {
+            return Err(IoError::Csv {
+                line: 1,
+                message: format!("expected header {CSV_HEADER:?}, found {h:?}"),
+            })
+        }
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Ok(TweetDataset::from_tweets(Vec::new())),
+    }
+    let mut tweets = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut fields = trimmed.split(',');
+        let mut next_field = |name: &str| {
+            fields.next().ok_or_else(|| IoError::Csv {
+                line: lineno,
+                message: format!("missing field {name}"),
+            })
+        };
+        let user: u32 = parse_field(next_field("user")?, lineno, "user")?;
+        let secs: i64 = parse_field(next_field("time_secs")?, lineno, "time_secs")?;
+        let lat: f64 = parse_field(next_field("lat")?, lineno, "lat")?;
+        let lon: f64 = parse_field(next_field("lon")?, lineno, "lon")?;
+        if fields.next().is_some() {
+            return Err(IoError::Csv {
+                line: lineno,
+                message: "too many fields".into(),
+            });
+        }
+        let location = Point::new(lat, lon)
+            .map_err(|source| IoError::BadCoordinate { line: lineno, source })?;
+        tweets.push(Tweet::new(UserId(user), Timestamp::from_secs(secs), location));
+    }
+    Ok(TweetDataset::from_tweets(tweets))
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str, line: usize, name: &str) -> Result<T, IoError>
+where
+    T::Err: fmt::Display,
+{
+    s.trim().parse().map_err(|e: T::Err| IoError::Csv {
+        line,
+        message: format!("field {name}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TweetDataset {
+        TweetDataset::from_tweets(vec![
+            Tweet::new(
+                UserId(1),
+                Timestamp::from_secs(100),
+                Point::new_unchecked(-33.9, 151.2),
+            ),
+            Tweet::new(
+                UserId(2),
+                Timestamp::from_secs(50),
+                Point::new_unchecked(-37.81, 144.96),
+            ),
+            Tweet::new(
+                UserId(1),
+                Timestamp::from_secs(200),
+                Point::new_unchecked(-33.8, 151.1),
+            ),
+        ])
+    }
+
+    fn datasets_equal(a: &TweetDataset, b: &TweetDataset) -> bool {
+        a.n_tweets() == b.n_tweets() && a.iter_tweets().zip(b.iter_tweets()).all(|(x, y)| x == y)
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 3);
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert!(datasets_equal(&ds, &back));
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let text = "\n{\"user\":1,\"time\":5,\"location\":{\"lat\":-33.0,\"lon\":151.0}}\n\n";
+        let ds = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(ds.n_tweets(), 1);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_line_number() {
+        let text = "{\"user\":1,\"time\":5,\"location\":{\"lat\":-33.0,\"lon\":151.0}}\nnot json\n";
+        match read_jsonl(text.as_bytes()) {
+            Err(IoError::Json { line: 2, .. }) => {}
+            other => panic!("expected Json error on line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_rejects_invalid_coordinates() {
+        let text = "{\"user\":1,\"time\":5,\"location\":{\"lat\":-133.0,\"lon\":151.0}}\n";
+        match read_jsonl(text.as_bytes()) {
+            Err(IoError::BadCoordinate { line: 1, .. }) => {}
+            other => panic!("expected BadCoordinate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("user,time_secs,lat,lon\n"));
+        let back = read_csv(&buf[..]).unwrap();
+        assert!(datasets_equal(&ds, &back));
+    }
+
+    #[test]
+    fn csv_empty_input_gives_empty_dataset() {
+        let ds = read_csv("".as_bytes()).unwrap();
+        assert!(ds.is_empty());
+        let ds = read_csv("user,time_secs,lat,lon\n".as_bytes()).unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn csv_rejects_wrong_header() {
+        match read_csv("a,b,c\n1,2,3\n".as_bytes()) {
+            Err(IoError::Csv { line: 1, .. }) => {}
+            other => panic!("expected header error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_bad_field_counts_and_types() {
+        let base = "user,time_secs,lat,lon\n";
+        match read_csv(format!("{base}1,2,3\n").as_bytes()) {
+            Err(IoError::Csv { line: 2, .. }) => {}
+            other => panic!("missing field: {other:?}"),
+        }
+        match read_csv(format!("{base}1,2,3,4,5\n").as_bytes()) {
+            Err(IoError::Csv { line: 2, .. }) => {}
+            other => panic!("extra field: {other:?}"),
+        }
+        match read_csv(format!("{base}x,2,3.0,4.0\n").as_bytes()) {
+            Err(IoError::Csv { line: 2, .. }) => {}
+            other => panic!("bad number: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_out_of_range_latitude() {
+        let text = "user,time_secs,lat,lon\n1,2,-95.0,140.0\n";
+        match read_csv(text.as_bytes()) {
+            Err(IoError::BadCoordinate { line: 2, .. }) => {}
+            other => panic!("expected BadCoordinate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::Csv {
+            line: 7,
+            message: "field lat: invalid float".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("line 7"));
+        assert!(text.contains("lat"));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn arb_tweet() -> impl Strategy<Value = Tweet> {
+            (
+                0u32..1_000,
+                -1_000_000i64..2_000_000_000,
+                -89.9..89.9f64,
+                -179.9..179.9f64,
+            )
+                .prop_map(|(u, t, lat, lon)| {
+                    Tweet::new(
+                        UserId(u),
+                        Timestamp::from_secs(t),
+                        Point::new_unchecked(lat, lon),
+                    )
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn jsonl_roundtrip_any_tweets(tweets in prop::collection::vec(arb_tweet(), 0..80)) {
+                let ds = TweetDataset::from_tweets(tweets);
+                let mut buf = Vec::new();
+                write_jsonl(&ds, &mut buf).unwrap();
+                let back = read_jsonl(&buf[..]).unwrap();
+                prop_assert_eq!(ds.n_tweets(), back.n_tweets());
+                for (a, b) in ds.iter_tweets().zip(back.iter_tweets()) {
+                    prop_assert_eq!(a.user, b.user);
+                    prop_assert_eq!(a.time, b.time);
+                    prop_assert!((a.location.lat - b.location.lat).abs() < 1e-12);
+                    prop_assert!((a.location.lon - b.location.lon).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn csv_roundtrip_any_tweets(tweets in prop::collection::vec(arb_tweet(), 0..80)) {
+                let ds = TweetDataset::from_tweets(tweets);
+                let mut buf = Vec::new();
+                write_csv(&ds, &mut buf).unwrap();
+                let back = read_csv(&buf[..]).unwrap();
+                prop_assert_eq!(ds.n_tweets(), back.n_tweets());
+                for (a, b) in ds.iter_tweets().zip(back.iter_tweets()) {
+                    prop_assert_eq!(a.user, b.user);
+                    prop_assert_eq!(a.time, b.time);
+                    // CSV prints f64 with full shortest-roundtrip precision.
+                    prop_assert_eq!(a.location.lat, b.location.lat);
+                    prop_assert_eq!(a.location.lon, b.location.lon);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Dataset summary statistics — the paper's Table I.
+
+use crate::dataset::TweetDataset;
+use crate::time::SECS_PER_HOUR;
+use serde::Serialize;
+use std::fmt;
+
+/// Counts of "enthusiast" users by activity threshold (paper §II: "the
+/// numbers of users with more than 50, 100, 500, 1000 Tweets being 23462,
+/// 10031, 766 and 180 respectively").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ActivityBuckets {
+    /// Users with more than 50 tweets.
+    pub over_50: usize,
+    /// Users with more than 100 tweets.
+    pub over_100: usize,
+    /// Users with more than 500 tweets.
+    pub over_500: usize,
+    /// Users with more than 1000 tweets.
+    pub over_1000: usize,
+}
+
+/// The row of the paper's Table I, computed from a dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetSummary {
+    /// `[min, max]` longitude over all tweets (NaN pair when empty).
+    pub lon_range: (f64, f64),
+    /// `[min, max]` latitude over all tweets (NaN pair when empty).
+    pub lat_range: (f64, f64),
+    /// `[first, last]` tweet timestamps as epoch seconds (0 when empty).
+    pub time_range_secs: (i64, i64),
+    /// Total tweets.
+    pub n_tweets: usize,
+    /// Distinct users.
+    pub n_users: usize,
+    /// Mean tweets per user (paper: 13.3).
+    pub avg_tweets_per_user: f64,
+    /// Mean waiting time between a user's consecutive tweets, hours
+    /// (paper: 35.5 h). NaN when no user has two tweets.
+    pub avg_waiting_time_hours: f64,
+    /// Mean distinct locations per user at 1e-3° (~100 m) grain
+    /// (paper: 4.76).
+    pub avg_locations_per_user: f64,
+    /// Enthusiast-user counts.
+    pub activity: ActivityBuckets,
+}
+
+impl DatasetSummary {
+    /// Computes every Table-I statistic in one pass over the dataset.
+    pub fn of(ds: &TweetDataset) -> Self {
+        let (mut lon_min, mut lon_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lat_min, mut lat_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in ds.points() {
+            lon_min = lon_min.min(p.lon);
+            lon_max = lon_max.max(p.lon);
+            lat_min = lat_min.min(p.lat);
+            lat_max = lat_max.max(p.lat);
+        }
+        let (lon_range, lat_range) = if ds.is_empty() {
+            ((f64::NAN, f64::NAN), (f64::NAN, f64::NAN))
+        } else {
+            ((lon_min, lon_max), (lat_min, lat_max))
+        };
+        let time_range_secs = if ds.is_empty() {
+            (0, 0)
+        } else {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for t in ds.times() {
+                lo = lo.min(t.as_secs());
+                hi = hi.max(t.as_secs());
+            }
+            (lo, hi)
+        };
+
+        let per_user = ds.tweets_per_user();
+        let activity = ActivityBuckets {
+            over_50: per_user.iter().filter(|&&c| c > 50).count(),
+            over_100: per_user.iter().filter(|&&c| c > 100).count(),
+            over_500: per_user.iter().filter(|&&c| c > 500).count(),
+            over_1000: per_user.iter().filter(|&&c| c > 1000).count(),
+        };
+        let avg_tweets_per_user = if ds.n_users() > 0 {
+            ds.n_tweets() as f64 / ds.n_users() as f64
+        } else {
+            f64::NAN
+        };
+        let waits = ds.waiting_times_secs();
+        let avg_waiting_time_hours = if waits.is_empty() {
+            f64::NAN
+        } else {
+            waits.iter().map(|&s| s as f64).sum::<f64>()
+                / (waits.len() as f64 * SECS_PER_HOUR as f64)
+        };
+        let locs = ds.distinct_locations_per_user(1e-3);
+        let avg_locations_per_user = if locs.is_empty() {
+            f64::NAN
+        } else {
+            locs.iter().map(|&c| c as f64).sum::<f64>() / locs.len() as f64
+        };
+
+        Self {
+            lon_range,
+            lat_range,
+            time_range_secs,
+            n_tweets: ds.n_tweets(),
+            n_users: ds.n_users(),
+            avg_tweets_per_user,
+            avg_waiting_time_hours,
+            avg_locations_per_user,
+            activity,
+        }
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Range of longitude : [{:.6}, {:.6}]", self.lon_range.0, self.lon_range.1)?;
+        writeln!(f, "Range of latitude  : [{:.6}, {:.6}]", self.lat_range.0, self.lat_range.1)?;
+        writeln!(
+            f,
+            "Collection period  : {} .. {} (epoch s)",
+            self.time_range_secs.0, self.time_range_secs.1
+        )?;
+        writeln!(f, "No. Tweets         : {}", self.n_tweets)?;
+        writeln!(f, "No. unique users   : {}", self.n_users)?;
+        writeln!(f, "Avg. Tweets/user   : {:.1}", self.avg_tweets_per_user)?;
+        writeln!(f, "Avg. waiting time  : {:.1} h", self.avg_waiting_time_hours)?;
+        writeln!(f, "Avg. locations/user: {:.2}", self.avg_locations_per_user)?;
+        write!(
+            f,
+            "Users with >50/>100/>500/>1000 tweets: {}/{}/{}/{}",
+            self.activity.over_50,
+            self.activity.over_100,
+            self.activity.over_500,
+            self.activity.over_1000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use crate::tweet::{Tweet, UserId};
+    use tweetmob_geo::Point;
+
+    fn t(user: u32, secs: i64, lat: f64, lon: f64) -> Tweet {
+        Tweet::new(
+            UserId(user),
+            Timestamp::from_secs(secs),
+            Point::new_unchecked(lat, lon),
+        )
+    }
+
+    #[test]
+    fn summary_of_small_dataset() {
+        let ds = TweetDataset::from_tweets(vec![
+            t(1, 0, -33.0, 151.0),
+            t(1, 7_200, -34.0, 152.0), // 2 h wait
+            t(2, 100, -37.0, 145.0),
+        ]);
+        let s = DatasetSummary::of(&ds);
+        assert_eq!(s.n_tweets, 3);
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.lon_range, (145.0, 152.0));
+        assert_eq!(s.lat_range, (-37.0, -33.0));
+        assert_eq!(s.time_range_secs, (0, 7_200));
+        assert!((s.avg_tweets_per_user - 1.5).abs() < 1e-12);
+        assert!((s.avg_waiting_time_hours - 2.0).abs() < 1e-12);
+        // User 1: two distinct locations; user 2: one → mean 1.5.
+        assert!((s.avg_locations_per_user - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_buckets_thresholds_are_strict() {
+        let mut tweets = Vec::new();
+        // User 1: exactly 50 tweets (NOT >50); user 2: 51; user 3: 1001.
+        for i in 0..50 {
+            tweets.push(t(1, i, -33.0, 151.0));
+        }
+        for i in 0..51 {
+            tweets.push(t(2, i, -33.0, 151.0));
+        }
+        for i in 0..1001 {
+            tweets.push(t(3, i, -33.0, 151.0));
+        }
+        let s = DatasetSummary::of(&TweetDataset::from_tweets(tweets));
+        assert_eq!(s.activity.over_50, 2); // users 2 and 3
+        assert_eq!(s.activity.over_100, 1); // user 3
+        assert_eq!(s.activity.over_500, 1);
+        assert_eq!(s.activity.over_1000, 1);
+    }
+
+    #[test]
+    fn empty_dataset_summary_is_nan_not_panic() {
+        let s = DatasetSummary::of(&TweetDataset::from_tweets(Vec::new()));
+        assert_eq!(s.n_tweets, 0);
+        assert!(s.avg_tweets_per_user.is_nan());
+        assert!(s.avg_waiting_time_hours.is_nan());
+        assert!(s.avg_locations_per_user.is_nan());
+        assert!(s.lon_range.0.is_nan());
+    }
+
+    #[test]
+    fn single_tweet_users_have_nan_waiting_time() {
+        let ds = TweetDataset::from_tweets(vec![t(1, 0, -33.0, 151.0), t(2, 5, -34.0, 150.0)]);
+        let s = DatasetSummary::of(&ds);
+        assert!(s.avg_waiting_time_hours.is_nan());
+    }
+
+    #[test]
+    fn display_contains_headline_numbers() {
+        let ds = TweetDataset::from_tweets(vec![
+            t(1, 0, -33.0, 151.0),
+            t(1, 3_600, -33.0, 151.0),
+        ]);
+        let text = DatasetSummary::of(&ds).to_string();
+        assert!(text.contains("No. Tweets         : 2"));
+        assert!(text.contains("Avg. waiting time  : 1.0 h"));
+    }
+}

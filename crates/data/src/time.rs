@@ -1,0 +1,118 @@
+//! Minimal time handling: epoch-second timestamps.
+//!
+//! The workspace deliberately avoids a calendar dependency — all the
+//! paper's temporal arithmetic is differences of collection-window
+//! timestamps (waiting times, trip ordering), for which Unix epoch seconds
+//! suffice. The paper's collection window (September 2013 – April 2014) is
+//! exposed as constants for the synthetic generator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds per hour.
+pub const SECS_PER_HOUR: i64 = 3_600;
+/// Seconds per day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A Unix timestamp in whole seconds.
+///
+/// Ordered, `Copy`, 8 bytes. Negative values (pre-1970) are permitted —
+/// arithmetic is plain `i64`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// Start of the paper's collection window: 2013-09-01T00:00:00Z.
+    pub const COLLECTION_START: Timestamp = Timestamp(1_377_993_600);
+    /// End of the paper's collection window: 2014-04-30T23:59:59Z.
+    pub const COLLECTION_END: Timestamp = Timestamp(1_398_902_399);
+
+    /// Wraps raw epoch seconds.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Raw epoch seconds.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Signed difference `self − earlier`, in seconds.
+    #[inline]
+    pub const fn seconds_since(self, earlier: Timestamp) -> i64 {
+        self.0 - earlier.0
+    }
+
+    /// Signed difference `self − earlier`, in fractional hours.
+    #[inline]
+    pub fn hours_since(self, earlier: Timestamp) -> f64 {
+        self.seconds_since(earlier) as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// This timestamp shifted forward by `secs` (negative shifts back).
+    #[inline]
+    pub const fn plus_secs(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Whether the timestamp falls inside `[start, end]` inclusive.
+    #[inline]
+    pub fn within(self, start: Timestamp, end: Timestamp) -> bool {
+        self >= start && self <= end
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_window_is_about_seven_months() {
+        let days = Timestamp::COLLECTION_END.seconds_since(Timestamp::COLLECTION_START)
+            / SECS_PER_DAY;
+        assert_eq!(days, 241); // Sep(30)+Oct(31)+Nov(30)+Dec(31)+Jan(31)+Feb(28)+Mar(31)+Apr(30)-1 full days
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Timestamp::from_secs(100);
+        let b = Timestamp::from_secs(4_000);
+        assert!(a < b);
+        assert_eq!(b.seconds_since(a), 3_900);
+        assert_eq!(a.seconds_since(b), -3_900);
+        assert!((b.hours_since(a) - 3_900.0 / 3_600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plus_secs_shifts_both_ways() {
+        let t = Timestamp::from_secs(1_000);
+        assert_eq!(t.plus_secs(500).as_secs(), 1_500);
+        assert_eq!(t.plus_secs(-2_000).as_secs(), -1_000);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let (s, e) = (Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(Timestamp::from_secs(10).within(s, e));
+        assert!(Timestamp::from_secs(20).within(s, e));
+        assert!(Timestamp::from_secs(15).within(s, e));
+        assert!(!Timestamp::from_secs(9).within(s, e));
+        assert!(!Timestamp::from_secs(21).within(s, e));
+    }
+
+    #[test]
+    fn display_shows_seconds() {
+        assert_eq!(Timestamp::from_secs(42).to_string(), "42s");
+    }
+}

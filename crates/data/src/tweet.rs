@@ -1,0 +1,88 @@
+//! The tweet record and user identifier.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tweetmob_geo::Point;
+
+/// An anonymous user identifier.
+///
+/// The paper's pipeline never needs user metadata, only identity — trips
+/// are pairs of consecutive tweets *by the same user*, and population is
+/// *unique users* near an area. A `u32` covers the paper's 473,956 users
+/// with four orders of magnitude to spare.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// One geo-tagged tweet: who, when, where.
+///
+/// Tweet text and other metadata are irrelevant to every experiment in the
+/// paper and are deliberately not modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Author.
+    pub user: UserId,
+    /// Publication time.
+    pub time: Timestamp,
+    /// Geotag.
+    pub location: Point,
+}
+
+impl Tweet {
+    /// Bundles the three fields.
+    #[inline]
+    pub const fn new(user: UserId, time: Timestamp, location: Point) -> Self {
+        Self {
+            user,
+            time,
+            location,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_fields() {
+        let t = Tweet::new(
+            UserId(7),
+            Timestamp::from_secs(1_000),
+            Point::new_unchecked(-33.9, 151.2),
+        );
+        assert_eq!(t.user, UserId(7));
+        assert_eq!(t.time.as_secs(), 1_000);
+        assert_eq!(t.location.lat, -33.9);
+    }
+
+    #[test]
+    fn user_id_display_and_ordering() {
+        assert_eq!(UserId(42).to_string(), "u42");
+        assert!(UserId(1) < UserId(2));
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let t = Tweet::new(
+            UserId(9),
+            Timestamp::from_secs(1_377_993_700),
+            Point::new_unchecked(-12.46, 130.84),
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tweet = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        // Transparent newtypes keep the JSON flat.
+        assert!(json.contains("\"user\":9"));
+        assert!(json.contains("\"time\":1377993700"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # tweetmob-geo
+//!
+//! Geodesy and spatial-indexing substrate for the `tweetmob` workspace.
+//!
+//! The paper ("Multi-scale Population and Mobility Estimation with
+//! Geo-tagged Tweets", Liu et al.) works with raw WGS-84 coordinates of
+//! geo-tagged tweets and needs three geometric capabilities, all provided
+//! here:
+//!
+//! * **great-circle distances** between tweet locations and area centres
+//!   ([`haversine_km`], with a fast [`equirectangular_km`] approximation
+//!   for hot loops over nearby points);
+//! * **radius extraction** — "number of Tweets / users within a search
+//!   radius ε of an area centre" — served by the uniform [`GridIndex`]
+//!   which answers radius, k-nearest-neighbour and bounding-box queries
+//!   over millions of points;
+//! * **density rasterisation** for the paper's Figure 1 tweet-density map
+//!   ([`DensityGrid`]).
+//!
+//! All distances are in kilometres, all angles in degrees unless a function
+//! name says otherwise. Latitude is constrained to `[-90, 90]` and
+//! longitude to `[-180, 180]`; [`Point::new`] validates, [`Point::new_unchecked`]
+//! skips validation for trusted hot paths.
+//!
+//! ## Example
+//!
+//! ```
+//! use tweetmob_geo::{Point, GridIndex, haversine_km};
+//!
+//! let sydney = Point::new(-33.8688, 151.2093).unwrap();
+//! let melbourne = Point::new(-37.8136, 144.9631).unwrap();
+//! let d = haversine_km(sydney, melbourne);
+//! assert!((d - 713.0).abs() < 10.0); // ~713 km apart
+//!
+//! let index = GridIndex::build(vec![sydney, melbourne], 1.0);
+//! let near_sydney = index.within_radius(sydney, 50.0);
+//! assert_eq!(near_sydney.len(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` guards are deliberate: they also reject NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod bbox;
+mod density;
+mod distance;
+mod grid;
+mod point;
+mod polygon;
+
+pub use bbox::{BoundingBox, AUSTRALIA_BBOX};
+pub use density::{DensityCell, DensityGrid};
+pub use distance::{
+    bearing_deg, destination, equirectangular_km, haversine_km, EARTH_RADIUS_KM,
+};
+pub use grid::{GridIndex, Neighbor};
+pub use point::{GeoError, Point};
+pub use polygon::Polygon;

@@ -1,0 +1,252 @@
+//! Simple polygons: point-in-polygon tests and areas.
+//!
+//! The paper extracts areas as discs around nominal centres and notes
+//! that "the sensitivity to the edges of the areas and search radius is
+//! likely to be a prominent factor" in its error (§III). Real studies
+//! use administrative boundaries instead; this module provides the
+//! geometry for that upgrade path — ray-casting containment and a
+//! spherical-excess-free planar area approximation adequate at city
+//! scale.
+
+use crate::bbox::BoundingBox;
+use crate::point::{GeoError, Point};
+use serde::{Deserialize, Serialize};
+
+/// A simple (non-self-intersecting) polygon on the sphere, stored as a
+/// ring of vertices. The ring is implicitly closed — do not repeat the
+/// first vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    bbox: BoundingBox,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::EmptyBox`] (reused) when fewer than three vertices are
+    /// supplied; coordinate errors when a vertex is invalid.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::EmptyBox {
+                axis: "polygon",
+                min: vertices.len() as f64,
+                max: 3.0,
+            });
+        }
+        for v in &vertices {
+            Point::new(v.lat, v.lon)?;
+        }
+        let bbox = BoundingBox::covering(vertices.iter().copied())
+            .expect("non-empty vertex list");
+        Ok(Self { vertices, bbox })
+    }
+
+    /// A closed axis-aligned rectangle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Polygon::new`].
+    pub fn rectangle(bbox: &BoundingBox) -> Result<Self, GeoError> {
+        Self::new(vec![
+            Point::new_unchecked(bbox.min_lat, bbox.min_lon),
+            Point::new_unchecked(bbox.min_lat, bbox.max_lon),
+            Point::new_unchecked(bbox.max_lat, bbox.max_lon),
+            Point::new_unchecked(bbox.max_lat, bbox.min_lon),
+        ])
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The covering bounding box (used as a cheap pre-filter).
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Whether `p` lies inside the polygon (even-odd / ray-casting rule,
+    /// treating lat/lon as planar — fine away from the poles and the
+    /// antimeridian, which Australian data never touches). Points exactly
+    /// on an edge may land on either side; administrative data treats the
+    /// probability-zero case as unspecified.
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            let crosses = (vi.lat > p.lat) != (vj.lat > p.lat);
+            if crosses {
+                let x = vj.lon + (p.lat - vj.lat) / (vi.lat - vj.lat) * (vi.lon - vj.lon);
+                if p.lon < x {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Planar (equirectangular) area in km², via the shoelace formula
+    /// scaled by the local metric. Accurate to well under 1 % for
+    /// city-to-state-sized polygons at Australian latitudes.
+    pub fn area_km2(&self) -> f64 {
+        const KM_PER_DEG_LAT: f64 = 111.194_926_644_558_74;
+        let mean_lat = (self.bbox.min_lat + self.bbox.max_lat) / 2.0;
+        let km_per_deg_lon = KM_PER_DEG_LAT * mean_lat.to_radians().cos();
+        let mut acc = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.lon * b.lat - b.lon * a.lat;
+        }
+        (acc / 2.0).abs() * KM_PER_DEG_LAT * km_per_deg_lon
+    }
+
+    /// Planar centroid (vertex-area weighted); adequate as a label/query
+    /// anchor for convex-ish administrative shapes.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let cross = p.lon * q.lat - q.lon * p.lat;
+            a += cross;
+            cx += (p.lon + q.lon) * cross;
+            cy += (p.lat + q.lat) * cross;
+        }
+        if a.abs() < 1e-15 {
+            // Degenerate ring: fall back to the vertex mean.
+            let lat = self.vertices.iter().map(|v| v.lat).sum::<f64>() / n as f64;
+            let lon = self.vertices.iter().map(|v| v.lon).sum::<f64>() / n as f64;
+            return Point::new_unchecked(lat, lon);
+        }
+        Point::new_unchecked(cy / (3.0 * a), cx / (3.0 * a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::new(vec![
+            Point::new_unchecked(-34.0, 150.0),
+            Point::new_unchecked(-34.0, 151.0),
+            Point::new_unchecked(-33.0, 151.0),
+            Point::new_unchecked(-33.0, 150.0),
+        ])
+        .unwrap()
+    }
+
+    /// An L-shaped (concave) polygon.
+    fn ell() -> Polygon {
+        Polygon::new(vec![
+            Point::new_unchecked(0.0, 0.0),
+            Point::new_unchecked(0.0, 2.0),
+            Point::new_unchecked(1.0, 2.0),
+            Point::new_unchecked(1.0, 1.0),
+            Point::new_unchecked(2.0, 1.0),
+            Point::new_unchecked(2.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_requires_three_vertices() {
+        assert!(Polygon::new(vec![]).is_err());
+        assert!(Polygon::new(vec![
+            Point::new_unchecked(0.0, 0.0),
+            Point::new_unchecked(1.0, 1.0)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn square_contains_interior_not_exterior() {
+        let sq = square();
+        assert!(sq.contains(Point::new_unchecked(-33.5, 150.5)));
+        assert!(!sq.contains(Point::new_unchecked(-32.9, 150.5))); // north
+        assert!(!sq.contains(Point::new_unchecked(-33.5, 151.1))); // east
+        assert!(!sq.contains(Point::new_unchecked(-35.0, 150.5))); // south
+        assert!(!sq.contains(Point::new_unchecked(-33.5, 149.9))); // west
+    }
+
+    #[test]
+    fn concave_polygon_notch_is_outside() {
+        let l = ell();
+        assert!(l.contains(Point::new_unchecked(0.5, 0.5)));
+        assert!(l.contains(Point::new_unchecked(0.5, 1.5)));
+        assert!(l.contains(Point::new_unchecked(1.5, 0.5)));
+        // The notch (upper-right of the L) is outside.
+        assert!(!l.contains(Point::new_unchecked(1.5, 1.5)));
+    }
+
+    #[test]
+    fn area_of_degree_square() {
+        // 1° × 1° at mean lat −33.5: 111.19 × 111.19·cos(33.5°) km².
+        let sq = square();
+        let expect = 111.194_926 * 111.194_926 * (33.5f64.to_radians()).cos();
+        let got = sq.area_km2();
+        assert!((got - expect).abs() / expect < 1e-3, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn ell_area_is_three_quarters_of_square() {
+        let l = ell();
+        let full = Polygon::rectangle(&BoundingBox::new(0.0, 2.0, 0.0, 2.0).unwrap()).unwrap();
+        let ratio = l.area_km2() / full.area_km2();
+        assert!((ratio - 0.75).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn centroid_of_square_is_centre() {
+        let c = square().centroid();
+        assert!((c.lat + 33.5).abs() < 1e-9);
+        assert!((c.lon - 150.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_ell_is_pulled_into_the_mass() {
+        let c = ell().centroid();
+        // By symmetry the L's centroid sits at (5/6, 5/6).
+        assert!((c.lat - 5.0 / 6.0).abs() < 1e-9, "lat {}", c.lat);
+        assert!((c.lon - 5.0 / 6.0).abs() < 1e-9, "lon {}", c.lon);
+        assert!(ell().contains(c));
+    }
+
+    #[test]
+    fn rectangle_matches_bbox_containment() {
+        let b = BoundingBox::new(-40.0, -30.0, 140.0, 150.0).unwrap();
+        let r = Polygon::rectangle(&b).unwrap();
+        for (lat, lon) in [(-35.0, 145.0), (-39.9, 140.1), (-30.1, 149.9)] {
+            assert!(r.contains(Point::new_unchecked(lat, lon)), "({lat},{lon})");
+        }
+        for (lat, lon) in [(-41.0, 145.0), (-35.0, 151.0)] {
+            assert!(!r.contains(Point::new_unchecked(lat, lon)), "({lat},{lon})");
+        }
+    }
+
+    #[test]
+    fn vertex_order_does_not_change_area() {
+        let cw = square();
+        let ccw = Polygon::new(cw.vertices().iter().rev().copied().collect()).unwrap();
+        assert!((cw.area_km2() - ccw.area_km2()).abs() < 1e-9);
+        assert_eq!(
+            cw.contains(Point::new_unchecked(-33.5, 150.5)),
+            ccw.contains(Point::new_unchecked(-33.5, 150.5))
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Model scoring with the paper's Table-II metrics and extensions.
+
+use crate::traits::{FlowObservation, MobilityModel, ModelError};
+use serde::Serialize;
+use std::fmt;
+use tweetmob_stats::correlation::{log_pearson, spearman};
+use tweetmob_stats::metrics::{hit_rate, log_rmse, sorensen_index};
+
+/// Scores of one model on one observation set.
+///
+/// `pearson` and `hit_rate_50` are the two Table-II metrics; the rest
+/// answer the paper's future-work call for "more metrics".
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelEvaluation {
+    /// Model display name.
+    pub model: &'static str,
+    /// Pearson correlation of log-estimated vs log-observed flow — the
+    /// appropriate reading of the paper's log-log Fig. 4 scatter.
+    pub pearson: f64,
+    /// Two-tailed p-value of `pearson`.
+    pub pearson_p: f64,
+    /// HitRate@50%: share of estimates within 50 % relative error.
+    pub hit_rate_50: f64,
+    /// RMSE of log10 flows ("error in decades").
+    pub log_rmse: f64,
+    /// Spearman rank correlation of raw flows.
+    pub spearman: f64,
+    /// Sørensen similarity (common part of commuters).
+    pub sorensen: f64,
+    /// Observation pairs scored.
+    pub n_pairs: usize,
+}
+
+impl fmt::Display for ModelEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} r={:.3} hit@50%={:.3} logRMSE={:.3} ρ={:.3} SSI={:.3} (n={})",
+            self.model,
+            self.pearson,
+            self.hit_rate_50,
+            self.log_rmse,
+            self.spearman,
+            self.sorensen,
+            self.n_pairs
+        )
+    }
+}
+
+/// Scores `model` against the observed flows.
+///
+/// Only observations with a positive observed flow enter the metrics
+/// (pairs with zero observed flow cannot be scored by relative error or
+/// log correlation; the fitted models never saw them either).
+///
+/// # Errors
+///
+/// [`ModelError::TooFewObservations`] when fewer than 3 scorable pairs
+/// remain (Pearson needs 3).
+pub fn evaluate<M: MobilityModel>(
+    model: &M,
+    observations: &[FlowObservation],
+) -> Result<ModelEvaluation, ModelError> {
+    let mut est = Vec::with_capacity(observations.len());
+    let mut obs = Vec::with_capacity(observations.len());
+    for o in observations {
+        if o.observed_flow > 0.0 && o.observed_flow.is_finite() {
+            let p = model.predict(o);
+            if p.is_finite() && p > 0.0 {
+                est.push(p);
+                obs.push(o.observed_flow);
+            }
+        }
+    }
+    evaluate_vectors(model.name(), &est, &obs)
+}
+
+/// Scores pre-computed prediction/observation vectors with the same
+/// metric battery as [`evaluate`]. Used by models whose predictions are
+/// matrix-shaped rather than a function of `(m, n, d, s)` — e.g. the
+/// doubly-constrained IPF fit. Pairs where either side is non-positive
+/// or non-finite are skipped.
+///
+/// # Errors
+///
+/// [`ModelError::TooFewObservations`] with fewer than 3 usable pairs;
+/// [`ModelError::DegenerateFit`] when a metric is undefined (e.g.
+/// constant flows).
+pub fn evaluate_vectors(
+    model: &'static str,
+    estimated: &[f64],
+    observed: &[f64],
+) -> Result<ModelEvaluation, ModelError> {
+    let mut est = Vec::with_capacity(estimated.len());
+    let mut obs = Vec::with_capacity(observed.len());
+    for (&e, &o) in estimated.iter().zip(observed) {
+        if e > 0.0 && e.is_finite() && o > 0.0 && o.is_finite() {
+            est.push(e);
+            obs.push(o);
+        }
+    }
+    if est.len() < 3 {
+        return Err(ModelError::TooFewObservations {
+            needed: 3,
+            got: est.len(),
+        });
+    }
+    let corr = log_pearson(&est, &obs).map_err(|_| {
+        ModelError::DegenerateFit("log-pearson degenerate (constant flows?)")
+    })?;
+    let rho = spearman(&est, &obs)
+        .map(|c| c.r)
+        .unwrap_or(f64::NAN);
+    Ok(ModelEvaluation {
+        model,
+        pearson: corr.r,
+        pearson_p: corr.p_two_tailed,
+        hit_rate_50: hit_rate(&est, &obs, 0.5)
+            .map_err(|_| ModelError::DegenerateFit("hit-rate undefined"))?,
+        log_rmse: log_rmse(&est, &obs)
+            .map_err(|_| ModelError::DegenerateFit("log-rmse undefined"))?,
+        spearman: rho,
+        sorensen: sorensen_index(&est, &obs)
+            .map_err(|_| ModelError::DegenerateFit("sorensen undefined"))?,
+        n_pairs: est.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::Gravity2Fit;
+
+    fn obs(m: f64, n: f64, d: f64, t: f64) -> FlowObservation {
+        FlowObservation {
+            origin_population: m,
+            dest_population: n,
+            distance_km: d,
+            intervening_population: 0.0,
+            observed_flow: t,
+        }
+    }
+
+    fn gravity_world(noise: impl Fn(usize) -> f64) -> Vec<FlowObservation> {
+        let mut k = 3u64;
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        (0..200)
+            .map(|i| {
+                let m = next(1e3, 1e6);
+                let n = next(1e3, 1e6);
+                let d = next(10.0, 2_000.0);
+                obs(m, n, d, 0.01 * m * n / (d * d) * noise(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_model_scores_perfectly() {
+        let data = gravity_world(|_| 1.0);
+        let fit = Gravity2Fit::fit(&data).unwrap();
+        let e = evaluate(&fit, &data).unwrap();
+        assert!(e.pearson > 0.999_999);
+        assert_eq!(e.hit_rate_50, 1.0);
+        assert!(e.log_rmse < 1e-6);
+        assert!(e.sorensen > 0.999);
+        assert_eq!(e.n_pairs, 200);
+    }
+
+    #[test]
+    fn noise_degrades_scores_monotonically() {
+        let noisy = gravity_world(|i| if i % 2 == 0 { 3.0 } else { 1.0 / 3.0 });
+        let fit = Gravity2Fit::fit(&noisy).unwrap();
+        let e = evaluate(&fit, &noisy).unwrap();
+        // 3x multiplicative noise → hit rate collapses, correlation holds.
+        assert!(e.hit_rate_50 < 0.3, "hit rate {}", e.hit_rate_50);
+        assert!(e.pearson > 0.9, "pearson {}", e.pearson);
+        assert!(e.log_rmse > 0.4, "log rmse {}", e.log_rmse);
+    }
+
+    #[test]
+    fn zero_flow_pairs_are_excluded() {
+        let mut data = gravity_world(|_| 1.0);
+        let n_before = data.len();
+        data.push(obs(1e4, 1e4, 100.0, 0.0));
+        let fit = Gravity2Fit::fit(&data).unwrap();
+        let e = evaluate(&fit, &data).unwrap();
+        assert_eq!(e.n_pairs, n_before);
+    }
+
+    #[test]
+    fn too_few_pairs_is_an_error() {
+        let data = gravity_world(|_| 1.0);
+        let fit = Gravity2Fit::fit(&data).unwrap();
+        assert!(matches!(
+            evaluate(&fit, &data[..2]),
+            Err(ModelError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let data = gravity_world(|_| 1.0);
+        let fit = Gravity2Fit::fit(&data).unwrap();
+        let text = evaluate(&fit, &data).unwrap().to_string();
+        assert!(text.contains("Gravity 2Param"));
+        assert!(text.contains("hit@50%"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Doubly-constrained gravity via iterative proportional fitting
+//! (Furness 1965) — the production-grade member of the gravity family.
+//!
+//! The paper's Eq. 1–2 are *unconstrained*: predicted totals need not
+//! match the observed trip productions and attractions. Transport
+//! practice instead balances `T_ij = A_i · B_j · O_i · D_j · f(d_ij)`
+//! so that `Σ_j T_ij = O_i` (row sums) and `Σ_i T_ij = D_j` (column
+//! sums), with the balancing factors found by alternating row/column
+//! scaling. With the deterrence exponent taken from a fitted
+//! [`crate::Gravity2Fit`], this shows how much of the residual error in
+//! Table II is just unbalanced marginals.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Errors from the IPF solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IpfError {
+    /// Matrix dimensions disagree with `n`.
+    BadShape {
+        /// Expected `n · n` entries.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A negative or non-finite flow/distance.
+    BadValue(f64),
+    /// A row or column with positive marginal has zero reachable mass —
+    /// the constraints are unsatisfiable.
+    Unsatisfiable(&'static str),
+    /// The iteration did not converge within the cap.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final worst marginal mismatch (relative).
+        residual: f64,
+    },
+}
+
+impl fmt::Display for IpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpfError::BadShape { expected, got } => {
+                write!(f, "matrix needs {expected} entries, got {got}")
+            }
+            IpfError::BadValue(v) => write!(f, "negative or non-finite value {v}"),
+            IpfError::Unsatisfiable(what) => write!(f, "unsatisfiable constraints: {what}"),
+            IpfError::NoConvergence { iterations, residual } => write!(
+                f,
+                "IPF did not converge after {iterations} iterations (residual {residual:.2e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IpfError {}
+
+/// A doubly-constrained gravity solution.
+#[derive(Debug, Clone, Serialize)]
+pub struct DoublyConstrainedFit {
+    n: usize,
+    /// Predicted flows, row-major.
+    predicted: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final worst relative marginal mismatch.
+    pub residual: f64,
+}
+
+impl DoublyConstrainedFit {
+    /// Balances a seed matrix `f(d_ij) = d_ij^−γ` (diagonal excluded) to
+    /// the observed matrix's row and column sums.
+    ///
+    /// * `observed` — the extracted OD matrix, row-major `n × n`; its
+    ///   marginals become the constraints.
+    /// * `distances` — centre distances, row-major `n × n`.
+    /// * `gamma` — deterrence exponent (e.g. from [`crate::Gravity2Fit`]).
+    ///
+    /// # Errors
+    ///
+    /// Shape/value errors, unsatisfiable constraints (a place with
+    /// observed outflow but no positive-deterrence destination), or
+    /// non-convergence after 1,000 sweeps at 1e-10 relative tolerance.
+    pub fn fit(
+        n: usize,
+        observed: &[f64],
+        distances: &[f64],
+        gamma: f64,
+    ) -> Result<Self, IpfError> {
+        if observed.len() != n * n {
+            return Err(IpfError::BadShape {
+                expected: n * n,
+                got: observed.len(),
+            });
+        }
+        if distances.len() != n * n {
+            return Err(IpfError::BadShape {
+                expected: n * n,
+                got: distances.len(),
+            });
+        }
+        for &v in observed {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(IpfError::BadValue(v));
+            }
+        }
+        // Target marginals.
+        let row_sums: Vec<f64> = (0..n)
+            .map(|i| observed[i * n..(i + 1) * n].iter().sum())
+            .collect();
+        let col_sums: Vec<f64> = (0..n)
+            .map(|j| (0..n).map(|i| observed[i * n + j]).sum())
+            .collect();
+
+        // Seed: pure deterrence, zero diagonal.
+        let mut t = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = distances[i * n + j];
+                if !(d > 0.0) || !d.is_finite() {
+                    return Err(IpfError::BadValue(d));
+                }
+                t[i * n + j] = d.powf(-gamma);
+            }
+        }
+        // Rows/cols with positive targets must have positive seed mass.
+        for i in 0..n {
+            if row_sums[i] > 0.0 && t[i * n..(i + 1) * n].iter().sum::<f64>() == 0.0 {
+                return Err(IpfError::Unsatisfiable("row with outflow but no seed mass"));
+            }
+        }
+        for j in 0..n {
+            if col_sums[j] > 0.0 && (0..n).map(|i| t[i * n + j]).sum::<f64>() == 0.0 {
+                return Err(IpfError::Unsatisfiable(
+                    "column with inflow but no seed mass",
+                ));
+            }
+        }
+
+        const MAX_SWEEPS: usize = 1_000;
+        const TOL: f64 = 1e-10;
+        let mut residual = f64::INFINITY;
+        for sweep in 1..=MAX_SWEEPS {
+            // Row scaling.
+            for i in 0..n {
+                let s: f64 = t[i * n..(i + 1) * n].iter().sum();
+                if s > 0.0 {
+                    let f = row_sums[i] / s;
+                    for v in &mut t[i * n..(i + 1) * n] {
+                        *v *= f;
+                    }
+                }
+            }
+            // Column scaling.
+            for j in 0..n {
+                let s: f64 = (0..n).map(|i| t[i * n + j]).sum();
+                if s > 0.0 {
+                    let f = col_sums[j] / s;
+                    for i in 0..n {
+                        t[i * n + j] *= f;
+                    }
+                }
+            }
+            // Convergence: worst relative row mismatch (columns are exact
+            // right after column scaling).
+            residual = 0.0;
+            for i in 0..n {
+                if row_sums[i] > 0.0 {
+                    let s: f64 = t[i * n..(i + 1) * n].iter().sum();
+                    residual = residual.max((s - row_sums[i]).abs() / row_sums[i]);
+                }
+            }
+            if residual < TOL {
+                return Ok(Self {
+                    n,
+                    predicted: t,
+                    iterations: sweep,
+                    residual,
+                });
+            }
+        }
+        Err(IpfError::NoConvergence {
+            iterations: MAX_SWEEPS,
+            residual,
+        })
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.n
+    }
+
+    /// Predicted flow for a directed pair.
+    ///
+    /// # Panics
+    ///
+    /// If an index is out of range.
+    pub fn predict(&self, origin: usize, dest: usize) -> f64 {
+        assert!(origin < self.n && dest < self.n, "index out of range");
+        self.predicted[origin * self.n + dest]
+    }
+
+    /// The full predicted matrix, row-major.
+    pub fn predicted(&self) -> &[f64] {
+        &self.predicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-area world on a line with asymmetric observed flows.
+    fn toy() -> (usize, Vec<f64>, Vec<f64>) {
+        let n = 3;
+        #[rustfmt::skip]
+        let observed = vec![
+            0.0, 60.0, 20.0,
+            30.0, 0.0, 50.0,
+            10.0, 40.0, 0.0,
+        ];
+        #[rustfmt::skip]
+        let distances = vec![
+            0.0, 100.0, 250.0,
+            100.0, 0.0, 150.0,
+            250.0, 150.0, 0.0,
+        ];
+        (n, observed, distances)
+    }
+
+    #[test]
+    fn marginals_are_matched() {
+        let (n, observed, distances) = toy();
+        let fit = DoublyConstrainedFit::fit(n, &observed, &distances, 2.0).unwrap();
+        for i in 0..n {
+            let want: f64 = observed[i * n..(i + 1) * n].iter().sum();
+            let got: f64 = (0..n).map(|j| fit.predict(i, j)).sum();
+            assert!((want - got).abs() < 1e-6, "row {i}: {got} vs {want}");
+        }
+        for j in 0..n {
+            let want: f64 = (0..n).map(|i| observed[i * n + j]).sum();
+            let got: f64 = (0..n).map(|i| fit.predict(i, j)).sum();
+            assert!((want - got).abs() < 1e-6, "col {j}: {got} vs {want}");
+        }
+        assert_eq!(fit.predict(0, 0), 0.0); // diagonal stays zero
+    }
+
+    #[test]
+    fn deterrence_shapes_the_interior() {
+        // With equal marginals, closer pairs must receive more flow.
+        let n = 3;
+        #[rustfmt::skip]
+        let observed = vec![
+            0.0, 50.0, 50.0,
+            50.0, 0.0, 50.0,
+            50.0, 50.0, 0.0,
+        ];
+        #[rustfmt::skip]
+        let distances = vec![
+            0.0, 10.0, 1_000.0,
+            10.0, 0.0, 1_000.0,
+            1_000.0, 1_000.0, 0.0,
+        ];
+        let fit = DoublyConstrainedFit::fit(n, &observed, &distances, 2.0).unwrap();
+        // 0 ↔ 1 are close; flow between them should exceed 0 → 2 even
+        // though marginals are identical.
+        assert!(fit.predict(0, 1) > fit.predict(0, 2));
+    }
+
+    #[test]
+    fn exactly_reproduces_gravity_consistent_data() {
+        // If the observed matrix already has the form A_i B_j d^-γ, IPF
+        // must reproduce it exactly (it is the unique doubly-constrained
+        // solution with that seed).
+        let n = 4;
+        let a = [1.0, 2.0, 0.5, 1.5];
+        let b = [3.0, 1.0, 2.0, 0.7];
+        let mut distances = vec![0.0; n * n];
+        let mut observed = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = 50.0 + 37.0 * ((i * 3 + j * 7) % 11) as f64;
+                distances[i * n + j] = d;
+                observed[i * n + j] = a[i] * b[j] * d.powf(-1.7) * 1e4;
+            }
+        }
+        let fit = DoublyConstrainedFit::fit(n, &observed, &distances, 1.7).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let rel = (fit.predict(i, j) - observed[i * n + j]).abs()
+                        / observed[i * n + j];
+                    assert!(rel < 1e-8, "({i},{j}) rel {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_and_columns_are_allowed() {
+        let n = 3;
+        #[rustfmt::skip]
+        let observed = vec![
+            0.0, 10.0, 0.0,
+            5.0, 0.0, 0.0,
+            0.0, 0.0, 0.0, // area 2 observed nothing
+        ];
+        let (_, _, distances) = toy();
+        let fit = DoublyConstrainedFit::fit(n, &observed, &distances, 2.0).unwrap();
+        for j in 0..n {
+            assert_eq!(fit.predict(2, j), 0.0);
+        }
+        let inflow_2: f64 = (0..n).map(|i| fit.predict(i, 2)).sum();
+        assert!(inflow_2.abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_paths() {
+        let (n, observed, distances) = toy();
+        assert!(matches!(
+            DoublyConstrainedFit::fit(n, &observed[..4], &distances, 2.0),
+            Err(IpfError::BadShape { .. })
+        ));
+        let mut bad = observed.clone();
+        bad[1] = -3.0;
+        assert!(matches!(
+            DoublyConstrainedFit::fit(n, &bad, &distances, 2.0),
+            Err(IpfError::BadValue(_))
+        ));
+        let mut zero_d = distances.clone();
+        zero_d[1] = 0.0; // off-diagonal zero distance
+        assert!(matches!(
+            DoublyConstrainedFit::fit(n, &observed, &zero_d, 2.0),
+            Err(IpfError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn predict_bounds_checked() {
+        let (n, observed, distances) = toy();
+        let fit = DoublyConstrainedFit::fit(n, &observed, &distances, 2.0).unwrap();
+        fit.predict(0, 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point estimates only; a credible reproduction should
+//! attach uncertainty to Pearson r and HitRate values, so the experiment
+//! harness uses percentile-bootstrap intervals from this module.
+
+use crate::descriptive::quantile;
+use crate::rng::SplitMix64;
+use crate::{Result, StatsError};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Resamples that produced a finite statistic.
+    pub resamples_used: usize,
+}
+
+/// Percentile bootstrap for a statistic of paired samples.
+///
+/// Resamples `(x, y)` pairs with replacement `n_resamples` times, applies
+/// `stat`, and returns the `[(1−level)/2, (1+level)/2]` percentile
+/// interval. Resamples where `stat` returns an error or a non-finite value
+/// (e.g. a degenerate resample with zero variance) are skipped.
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] — inputs differ in length.
+/// * [`StatsError::TooFewSamples`] — empty input, zero resamples, or fewer
+///   than 10 resamples survived.
+/// * [`StatsError::Degenerate`] — `level` outside (0, 1) or the statistic
+///   failed on the full sample.
+pub fn bootstrap_paired<F>(
+    x: &[f64],
+    y: &[f64],
+    stat: F,
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi>
+where
+    F: Fn(&[f64], &[f64]) -> Result<f64>,
+{
+    crate::check_paired(x, y)?;
+    if x.is_empty() || n_resamples == 0 {
+        return Err(StatsError::TooFewSamples {
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::Degenerate("level must be in (0,1)"));
+    }
+    let estimate = stat(x, y)?;
+    if !estimate.is_finite() {
+        return Err(StatsError::Degenerate("statistic non-finite on full sample"));
+    }
+    let n = x.len();
+    let mut rng = SplitMix64::new(seed);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut rx = vec![0.0; n];
+    let mut ry = vec![0.0; n];
+    for _ in 0..n_resamples {
+        for i in 0..n {
+            let j = rng.next_below(n);
+            rx[i] = x[j];
+            ry[i] = y[j];
+        }
+        if let Ok(s) = stat(&rx, &ry) {
+            if s.is_finite() {
+                stats.push(s);
+            }
+        }
+    }
+    if stats.len() < 10 {
+        return Err(StatsError::TooFewSamples {
+            needed: 10,
+            got: stats.len(),
+        });
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Ok(BootstrapCi {
+        estimate,
+        lo: quantile(&stats, alpha)?,
+        hi: quantile(&stats, 1.0 - alpha)?,
+        resamples_used: stats.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::pearson;
+    use crate::descriptive::mean;
+
+    fn mean_diff(x: &[f64], y: &[f64]) -> Result<f64> {
+        Ok(mean(x)? - mean(y)?)
+    }
+
+    #[test]
+    fn ci_contains_point_estimate() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let ci = bootstrap_paired(&x, &y, mean_diff, 500, 0.95, 1).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.resamples_used >= 490);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let make = |n: usize| -> (Vec<f64>, Vec<f64>) {
+            let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+            (x, y)
+        };
+        let (x1, y1) = make(30);
+        let (x2, y2) = make(3000);
+        let c1 = bootstrap_paired(&x1, &y1, mean_diff, 300, 0.95, 2).unwrap();
+        let c2 = bootstrap_paired(&x2, &y2, mean_diff, 300, 0.95, 2).unwrap();
+        assert!(c2.hi - c2.lo < c1.hi - c1.lo);
+    }
+
+    #[test]
+    fn pearson_bootstrap_on_strong_signal() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + ((i * 7919) % 100) as f64 * 0.3)
+            .collect();
+        let ci = bootstrap_paired(&x, &y, |a, b| pearson(a, b).map(|c| c.r), 400, 0.9, 3).unwrap();
+        assert!(ci.estimate > 0.9);
+        assert!(ci.lo > 0.8, "lo = {}", ci.lo);
+        assert!(ci.hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i * i % 29) as f64).collect();
+        let a = bootstrap_paired(&x, &y, mean_diff, 200, 0.95, 42).unwrap();
+        let b = bootstrap_paired(&x, &y, mean_diff, 200, 0.95, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(bootstrap_paired(&[], &[], mean_diff, 100, 0.95, 0).is_err());
+        assert!(bootstrap_paired(&[1.0], &[1.0, 2.0], mean_diff, 100, 0.95, 0).is_err());
+        assert!(bootstrap_paired(&[1.0], &[1.0], mean_diff, 0, 0.95, 0).is_err());
+        assert!(bootstrap_paired(&[1.0], &[1.0], mean_diff, 100, 1.5, 0).is_err());
+    }
+}

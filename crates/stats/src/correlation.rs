@@ -1,0 +1,280 @@
+//! Pearson and Spearman correlation with significance tests.
+//!
+//! The paper's two headline statistics both come through here: the
+//! population-estimation correlation "0.816 … with a two-tailed p-value of
+//! 2.06×10⁻¹⁵" (Fig. 3, n = 60) and the per-scale model Pearson scores in
+//! Table II.
+
+use crate::distributions::student_t_two_tailed;
+use crate::{check_finite, check_paired, Result, StatsError};
+use serde::Serialize;
+
+/// A correlation estimate with its significance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Correlation {
+    /// Correlation coefficient in `[-1, 1]`.
+    pub r: f64,
+    /// Two-tailed p-value under the t-approximation with `n − 2` degrees
+    /// of freedom. `NaN` when `|r| = 1` exactly (the statistic diverges; a
+    /// perfectly collinear sample is trivially significant).
+    pub p_two_tailed: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Pearson product-moment correlation of paired samples, with a two-tailed
+/// t-test p-value.
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] — inputs differ in length.
+/// * [`StatsError::TooFewSamples`] — fewer than 3 pairs (the t-test needs
+///   `n − 2 ≥ 1`).
+/// * [`StatsError::NonFiniteValue`] — NaN/∞ anywhere.
+/// * [`StatsError::Degenerate`] — either input has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<Correlation> {
+    check_paired(x, y)?;
+    if x.len() < 3 {
+        return Err(StatsError::TooFewSamples {
+            needed: 3,
+            got: x.len(),
+        });
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::Degenerate("x has zero variance"));
+    }
+    if syy == 0.0 {
+        return Err(StatsError::Degenerate("y has zero variance"));
+    }
+    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let df = n - 2.0;
+    let p = if r.abs() >= 1.0 {
+        f64::NAN
+    } else {
+        let t = r * (df / (1.0 - r * r)).sqrt();
+        student_t_two_tailed(t, df)?
+    };
+    Ok(Correlation {
+        r,
+        p_two_tailed: p,
+        n: x.len(),
+    })
+}
+
+/// Pearson correlation of `log10(x)` vs `log10(y)`.
+///
+/// Mobility and population magnitudes span decades; the paper's log-log
+/// scatter plots (Figs. 3–4) imply correlation on logarithmic axes. Pairs
+/// where either value is ≤ 0 are **skipped** (a zero-flow pair carries no
+/// information on a log plot); the returned `n` reflects the pairs used.
+///
+/// # Errors
+///
+/// As [`pearson`], applied to the surviving pairs.
+pub fn log_pearson(x: &[f64], y: &[f64]) -> Result<Correlation> {
+    check_paired(x, y)?;
+    let mut lx = Vec::with_capacity(x.len());
+    let mut ly = Vec::with_capacity(y.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        if xi > 0.0 && yi > 0.0 && xi.is_finite() && yi.is_finite() {
+            lx.push(xi.log10());
+            ly.push(yi.log10());
+        }
+    }
+    pearson(&lx, &ly)
+}
+
+/// Spearman rank correlation with a t-approximation p-value.
+///
+/// Ties receive average ranks (the standard "fractional ranking"), so the
+/// statistic stays unbiased on count data with many repeated small values.
+///
+/// # Errors
+///
+/// As [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<Correlation> {
+    check_paired(x, y)?;
+    check_finite(x)?;
+    check_finite(y)?;
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.r - 1.0).abs() < 1e-12);
+        // Exactly collinear → NaN sentinel; float rounding may instead
+        // leave r a hair under 1, in which case p must be vanishingly
+        // small. Both mean "trivially significant".
+        assert!(c.p_two_tailed.is_nan() || c.p_two_tailed < 1e-10);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [8.0, 6.0, 4.0, 2.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_reference_value() {
+        // Hand-computed: r = 17/√(10·42.8) = 0.824163383692134, and the
+        // two-tailed p from t = r·√(3/(1−r²)) = 2.52050415…, df = 3 is
+        // I_{df/(df+t²)}(1.5, 0.5) = 0.08613863131395945.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 7.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.r - 0.824_163_383_692_134).abs() < 1e-10);
+        assert!((c.p_two_tailed - 0.086_138_631_313_959_45).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!(c.r.abs() < 0.5);
+        assert!(c.p_two_tailed > 0.3);
+    }
+
+    #[test]
+    fn pearson_extreme_significance_no_underflow_to_zero_sign() {
+        // n = 60, r = 0.816 → t ≈ 10.75, df = 58 → p ≈ 2e-15 (the paper's
+        // exact setting). The p-value must be tiny but strictly positive.
+        // Construct a sample with r close to 0.816 by mixing signal+noise
+        // deterministically.
+        let n = 60;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| i as f64 + (((i * 2_654_435_761_usize) % 997) as f64 / 997.0 - 0.5) * 40.0)
+            .collect();
+        let c = pearson(&x, &y).unwrap();
+        assert!(c.p_two_tailed > 0.0);
+        assert!(c.p_two_tailed < 1e-6, "r={} p={}", c.r, c.p_two_tailed);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Degenerate(_))
+        ));
+        assert!(matches!(
+            pearson(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::NonFiniteValue(_))
+        ));
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 9.0, 3.0, 14.0, 6.0];
+        let c1 = pearson(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| 100.0 * v - 40.0).collect();
+        let y2: Vec<f64> = y.iter().map(|v| 0.01 * v + 7.0).collect();
+        let c2 = pearson(&x2, &y2).unwrap();
+        assert!((c1.r - c2.r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pearson_skips_nonpositive_pairs() {
+        let x = [10.0, 100.0, 0.0, 1000.0, -5.0];
+        let y = [1.0, 10.0, 50.0, 100.0, 3.0];
+        let c = log_pearson(&x, &y).unwrap();
+        assert_eq!(c.n, 3); // zero/negative x pairs dropped
+        assert!((c.r - 1.0).abs() < 1e-12); // exact power-law relation
+    }
+
+    #[test]
+    fn log_pearson_power_law_is_perfect() {
+        // y = 3 x^2 is a straight line in log space.
+        let x: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v * v).collect();
+        let c = log_pearson(&x, &y).unwrap();
+        assert!((c.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| v.exp()).collect(); // monotone
+        let c = spearman(&x, &y).unwrap();
+        assert!((c.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reference_with_ties() {
+        // Hand-computed with fractional ranks: rx = [1, 2.5, 2.5, 4],
+        // ry = [1, 3, 2, 4] → r = 4.5/√22.5 = 0.9486832980505138
+        // (matches SciPy spearmanr([1,2,2,3],[1,3,2,4]).statistic).
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let c = spearman(&x, &y).unwrap();
+        assert!((c.r - 0.948_683_298_050_513_8).abs() < 1e-12, "r = {}", c.r);
+    }
+
+    #[test]
+    fn fractional_ranks_handle_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = fractional_ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_of_distinct_values_are_permutation() {
+        let r = fractional_ranks(&[3.0, 1.0, 2.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Probability distributions needed by the hypothesis tests: Student-t and
+//! the standard normal.
+
+use crate::special::{erf, erfc, inc_beta};
+use crate::{Result, StatsError};
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal survival function `1 − Φ(x)`, computed without
+/// cancellation in the far tail.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse standard normal CDF (quantile function) via the Acklam rational
+/// approximation refined with one Halley step; absolute error < 1e-12 on
+/// `(1e-300, 1 − 1e-16)`.
+///
+/// # Errors
+///
+/// [`StatsError::Degenerate`] for `p` outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 || p.is_nan() {
+        return Err(StatsError::Degenerate("quantile requires p in (0,1)"));
+    }
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// Student-t CDF with `df` degrees of freedom.
+///
+/// Uses the incomplete-beta identity
+/// `P(T ≤ t) = 1 − ½ I_{df/(df+t²)}(df/2, 1/2)` for `t ≥ 0` and symmetry
+/// for `t < 0`.
+///
+/// # Errors
+///
+/// [`StatsError::Degenerate`] for `df ≤ 0`.
+pub fn student_t_cdf(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 || df.is_nan() {
+        return Err(StatsError::Degenerate("student t requires df > 0"));
+    }
+    if t.is_nan() {
+        return Ok(f64::NAN);
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * inc_beta(df / 2.0, 0.5, x);
+    Ok(if t >= 0.0 { 1.0 - tail } else { tail })
+}
+
+/// Two-tailed p-value for a t statistic: `P(|T| ≥ |t|)`.
+///
+/// # Errors
+///
+/// [`StatsError::Degenerate`] for `df ≤ 0`.
+pub fn student_t_two_tailed(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 || df.is_nan() {
+        return Err(StatsError::Degenerate("student t requires df > 0"));
+    }
+    if t.is_nan() {
+        return Ok(f64::NAN);
+    }
+    // P(|T| >= |t|) = I_{df/(df+t^2)}(df/2, 1/2), directly — avoids the
+    // 1-(1-x) cancellation for huge |t| (the paper's p = 2e-15 regime).
+    Ok(inc_beta(df / 2.0, 0.5, df / (df + t * t)))
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Returns the KS statistic `D = sup |F₁(x) − F₂(x)|` and the asymptotic
+/// two-sided p-value from the Kolmogorov distribution
+/// `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with the effective-sample-size
+/// argument `λ = (√n_e + 0.12 + 0.11/√n_e)·D` (Numerical Recipes'
+/// `kstwo`). Used to compare distributions across time windows (is the
+/// waiting-time law stationary over the collection period?).
+///
+/// # Errors
+///
+/// [`StatsError::TooFewSamples`] when either sample is empty;
+/// [`StatsError::NonFiniteValue`] on NaN/∞.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<(f64, f64)> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::TooFewSamples {
+            needed: 1,
+            got: a.len().min(b.len()),
+        });
+    }
+    crate::check_finite(a)?;
+    crate::check_finite(b)?;
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let xa = sa[i];
+        let xb = sb[j];
+        if xa <= xb {
+            i += 1;
+        }
+        if xb <= xa {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let ne = (na * nb / (na + nb)).sqrt();
+    let lambda = (ne + 0.12 + 0.11 / ne) * d;
+    Ok((d, kolmogorov_q(lambda)))
+}
+
+/// Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 * sum.abs().max(1e-12) {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(got: f64, want: f64, tol: f64) {
+        assert!((got - want).abs() < tol, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        close(normal_cdf(0.0), 0.5, 1e-15);
+        // SciPy norm.cdf(1.959963984540054) = 0.975
+        close(normal_cdf(1.959_963_984_540_054), 0.975, 1e-12);
+        close(normal_cdf(-1.959_963_984_540_054), 0.025, 1e-12);
+        close(normal_cdf(3.0), 0.998_650_101_968_369_9, 1e-10);
+    }
+
+    #[test]
+    fn normal_sf_tail_accuracy() {
+        // SciPy norm.sf(6) = 9.865876450376946e-10
+        let got = normal_sf(6.0);
+        let want = 9.865_876_450_376_946e-10;
+        assert!((got - want).abs() / want < 1e-6, "got {got}");
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip() {
+        for p in [1e-10, 0.001, 0.025, 0.5, 0.8, 0.975, 0.999, 1.0 - 1e-12] {
+            let x = normal_quantile(p).unwrap();
+            close(normal_cdf(x), p, 1e-11);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_known_points() {
+        close(normal_quantile(0.5).unwrap(), 0.0, 1e-12);
+        close(normal_quantile(0.975).unwrap(), 1.959_963_984_540_054, 1e-9);
+        close(normal_quantile(0.841_344_746_068_543).unwrap(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_rejects_bad_p() {
+        assert!(normal_quantile(0.0).is_err());
+        assert!(normal_quantile(1.0).is_err());
+        assert!(normal_quantile(-0.5).is_err());
+        assert!(normal_quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_median() {
+        for df in [1.0, 5.0, 30.0] {
+            close(student_t_cdf(0.0, df).unwrap(), 0.5, 1e-14);
+            for t in [0.5, 1.0, 2.5] {
+                let upper = student_t_cdf(t, df).unwrap();
+                let lower = student_t_cdf(-t, df).unwrap();
+                close(upper + lower, 1.0, 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // SciPy t.cdf(2.0, 10) = 0.9633059826146299
+        close(student_t_cdf(2.0, 10.0).unwrap(), 0.963_305_982_614_629_9, 1e-12);
+        // t.cdf(1.0, 1) = 0.75 (Cauchy)
+        close(student_t_cdf(1.0, 1.0).unwrap(), 0.75, 1e-12);
+        // Large df approaches the normal.
+        close(
+            student_t_cdf(1.96, 1e6).unwrap(),
+            normal_cdf(1.96),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn t_two_tailed_reference_values() {
+        // SciPy 2*t.sf(2.0, 10) = 0.07338803477074023
+        close(
+            student_t_two_tailed(2.0, 10.0).unwrap(),
+            0.073_388_034_770_740_23,
+            1e-12,
+        );
+        // Extreme statistic: 2*t.sf(12, 58) ~ 2.9e-17 — must not round to 0
+        // or lose sign; this is the paper's p = 2e-15 regime.
+        let p = student_t_two_tailed(12.0, 58.0).unwrap();
+        assert!(p > 0.0 && p < 1e-15, "p = {p}");
+    }
+
+    #[test]
+    fn t_two_tailed_is_symmetric_in_t() {
+        let a = student_t_two_tailed(2.5, 20.0).unwrap();
+        let b = student_t_two_tailed(-2.5, 20.0).unwrap();
+        close(a, b, 1e-15);
+    }
+
+    #[test]
+    fn t_functions_reject_bad_df() {
+        assert!(student_t_cdf(1.0, 0.0).is_err());
+        assert!(student_t_cdf(1.0, -3.0).is_err());
+        assert!(student_t_two_tailed(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn t_nan_statistic_propagates() {
+        assert!(student_t_cdf(f64::NAN, 5.0).unwrap().is_nan());
+        assert!(student_t_two_tailed(f64::NAN, 5.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn ks_identical_samples_accept() {
+        let xs: Vec<f64> = (0..500).map(|i| (i % 37) as f64).collect();
+        let (d, p) = ks_two_sample(&xs, &xs).unwrap();
+        assert!(d < 1e-12);
+        assert!(p > 0.99);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_reject() {
+        let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| 10_000.0 + i as f64).collect();
+        let (d, p) = ks_two_sample(&a, &b).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(p < 1e-10, "p = {p}");
+    }
+
+    #[test]
+    fn ks_same_distribution_usually_accepts() {
+        // Two deterministic interleavings of the same uniform grid.
+        let a: Vec<f64> = (0..1_000).map(|i| (i * 2) as f64).collect();
+        let b: Vec<f64> = (0..1_000).map(|i| (i * 2 + 1) as f64).collect();
+        let (d, p) = ks_two_sample(&a, &b).unwrap();
+        assert!(d < 0.01, "d = {d}");
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn ks_shifted_distribution_detected() {
+        let a: Vec<f64> = (0..800).map(|i| (i % 100) as f64).collect();
+        let b: Vec<f64> = (0..800).map(|i| (i % 100) as f64 + 30.0).collect();
+        let (d, p) = ks_two_sample(&a, &b).unwrap();
+        assert!(d > 0.25, "d = {d}");
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn ks_is_symmetric_and_validates() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.5];
+        let (d1, p1) = ks_two_sample(&a, &b).unwrap();
+        let (d2, p2) = ks_two_sample(&b, &a).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(p1, p2);
+        assert!(ks_two_sample(&[], &b).is_err());
+        assert!(ks_two_sample(&a, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.3) > 0.99);
+        // Known value: Q(1.0) ≈ 0.26999967167735456
+        assert!((kolmogorov_q(1.0) - 0.269_999_671_677_354_56).abs() < 1e-9);
+        assert!(kolmogorov_q(3.0) < 1e-7);
+    }
+}

@@ -1,0 +1,481 @@
+//! Ordinary least squares for small predictor counts.
+//!
+//! The gravity models are fitted "from least-square fitting after taking
+//! logarithm of the formulas" (paper §IV):
+//!
+//! * 4-parameter: `log P = log C + α·log m + β·log n − γ·log d` — three
+//!   predictors plus intercept;
+//! * 2-parameter: `log P − log(mn) = log C − γ·log d` — one predictor plus
+//!   intercept.
+//!
+//! Predictor counts are tiny (≤ 3) while observation counts can be large,
+//! so [`Ols`] accumulates the `XᵀX` / `Xᵀy` normal equations incrementally
+//! in O(k²) per row and solves once by Gaussian elimination with partial
+//! pivoting — no observation matrix is ever materialised.
+
+use crate::{Result, StatsError};
+
+/// Incremental ordinary-least-squares accumulator with intercept.
+///
+/// ```
+/// use tweetmob_stats::regression::Ols;
+///
+/// // y = 2 + 3·a − 1·b
+/// let mut ols = Ols::new(2);
+/// for (a, b) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (2.0, 3.0), (4.0, 1.0)] {
+///     ols.add(&[a, b], 2.0 + 3.0 * a - b).unwrap();
+/// }
+/// let fit = ols.solve().unwrap();
+/// assert!((fit.intercept() - 2.0).abs() < 1e-9);
+/// assert!((fit.coef(0) - 3.0).abs() < 1e-9);
+/// assert!((fit.coef(1) + 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ols {
+    /// Number of predictors (excluding intercept).
+    k: usize,
+    /// Normal matrix XᵀX, row-major, (k+1)².
+    xtx: Vec<f64>,
+    /// Right-hand side Xᵀy, length k+1.
+    xty: Vec<f64>,
+    /// Accumulators for R².
+    sum_y: f64,
+    sum_y2: f64,
+    n: usize,
+}
+
+/// A solved least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// `[intercept, β₁, …, β_k]`.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    /// Observations used.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Fitted intercept.
+    #[inline]
+    pub fn intercept(&self) -> f64 {
+        self.coefficients[0]
+    }
+
+    /// Fitted coefficient of predictor `i` (0-based, excluding intercept).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= k`.
+    #[inline]
+    pub fn coef(&self, i: usize) -> f64 {
+        self.coefficients[i + 1]
+    }
+
+    /// Predicts `ŷ` for a predictor row.
+    ///
+    /// # Panics
+    ///
+    /// If `xs.len() + 1 != coefficients.len()`.
+    pub fn predict(&self, xs: &[f64]) -> f64 {
+        assert_eq!(
+            xs.len() + 1,
+            self.coefficients.len(),
+            "predictor count mismatch"
+        );
+        self.coefficients[0]
+            + xs.iter()
+                .zip(&self.coefficients[1..])
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
+    }
+}
+
+impl Ols {
+    /// Creates an accumulator for `k` predictors (plus an implicit
+    /// intercept). `k = 0` fits a constant.
+    pub fn new(k: usize) -> Self {
+        let dim = k + 1;
+        Self {
+            k,
+            xtx: vec![0.0; dim * dim],
+            xty: vec![0.0; dim],
+            sum_y: 0.0,
+            sum_y2: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Number of observations accumulated so far.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::LengthMismatch`] when `xs.len() != k`;
+    /// [`StatsError::NonFiniteValue`] for NaN/∞ anywhere in the row.
+    pub fn add(&mut self, xs: &[f64], y: f64) -> Result<()> {
+        if xs.len() != self.k {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: self.k,
+            });
+        }
+        if !y.is_finite() {
+            return Err(StatsError::NonFiniteValue(y));
+        }
+        for &x in xs {
+            if !x.is_finite() {
+                return Err(StatsError::NonFiniteValue(x));
+            }
+        }
+        let dim = self.k + 1;
+        // Row vector with the intercept folded in as x₀ = 1.
+        let xi = |i: usize| if i == 0 { 1.0 } else { xs[i - 1] };
+        for r in 0..dim {
+            let xr = xi(r);
+            self.xty[r] += xr * y;
+            for c in r..dim {
+                let v = xr * xi(c);
+                self.xtx[r * dim + c] += v;
+            }
+        }
+        self.sum_y += y;
+        self.sum_y2 += y * y;
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Solves the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::TooFewSamples`] — fewer observations than
+    ///   coefficients.
+    /// * [`StatsError::Degenerate`] — singular normal matrix (collinear or
+    ///   constant predictors).
+    pub fn solve(&self) -> Result<OlsFit> {
+        let dim = self.k + 1;
+        if self.n < dim {
+            return Err(StatsError::TooFewSamples {
+                needed: dim,
+                got: self.n,
+            });
+        }
+        // Mirror the upper triangle into a working copy.
+        let mut a = vec![0.0; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                a[r * dim + c] = if c >= r {
+                    self.xtx[r * dim + c]
+                } else {
+                    self.xtx[c * dim + r]
+                };
+            }
+        }
+        let mut b = self.xty.clone();
+        gaussian_solve(&mut a, &mut b, dim)?;
+
+        // R² = 1 − SS_res / SS_tot, with SS_res via the normal-equation
+        // identity SS_res = Σy² − βᵀXᵀy.
+        let ss_tot = self.sum_y2 - self.sum_y * self.sum_y / self.n as f64;
+        let explained: f64 = b.iter().zip(&self.xty).map(|(bi, xy)| bi * xy).sum();
+        let ss_res = (self.sum_y2 - explained).max(0.0);
+        let r_squared = if ss_tot > 0.0 {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        } else {
+            f64::NAN
+        };
+        Ok(OlsFit {
+            coefficients: b,
+            r_squared,
+            n: self.n,
+        })
+    }
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial
+/// pivoting; `b` holds the solution on return.
+fn gaussian_solve(a: &mut [f64], b: &mut [f64], dim: usize) -> Result<()> {
+    for col in 0..dim {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * dim + col].abs();
+        for row in (col + 1)..dim {
+            let v = a[row * dim + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(StatsError::Degenerate("singular normal matrix"));
+        }
+        if pivot != col {
+            for c in 0..dim {
+                a.swap(col * dim + c, pivot * dim + c);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * dim + col];
+        for row in (col + 1)..dim {
+            let f = a[row * dim + col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..dim {
+                a[row * dim + c] -= f * a[col * dim + c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..dim).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..dim {
+            acc -= a[col * dim + c] * b[c];
+        }
+        b[col] = acc / a[col * dim + col];
+    }
+    Ok(())
+}
+
+/// Convenience: simple linear regression `y = a + b·x`, returning
+/// `(intercept, slope, r_squared)`.
+///
+/// # Errors
+///
+/// As [`Ols::add`] / [`Ols::solve`].
+pub fn simple_linear(x: &[f64], y: &[f64]) -> Result<(f64, f64, f64)> {
+    crate::check_paired(x, y)?;
+    let mut ols = Ols::new(1);
+    for (&xi, &yi) in x.iter().zip(y) {
+        ols.add(&[xi], yi)?;
+    }
+    let fit = ols.solve()?;
+    Ok((fit.intercept(), fit.coef(0), fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let (a, b, r2) = simple_linear(&x, &y).unwrap();
+        assert!((a + 7.0).abs() < 1e-9);
+        assert!((b - 3.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        // Deterministic "noise" via a hash-like sequence.
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + 1.0 + (((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let (a, b, r2) = simple_linear(&x, &y).unwrap();
+        assert!((a - 1.0).abs() < 0.2, "a = {a}");
+        assert!((b - 2.0).abs() < 0.05, "b = {b}");
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn three_predictor_recovery_gravity_shape() {
+        // The actual gravity-model fit shape: log P = c + α·lm + β·ln − γ·ld
+        let mut ols = Ols::new(3);
+        let mut k = 1u64;
+        for _ in 0..200 {
+            // Cheap deterministic pseudo-random predictors.
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lm = (k >> 33) as f64 / 2f64.powi(31) * 5.0 + 3.0;
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ln = (k >> 33) as f64 / 2f64.powi(31) * 5.0 + 3.0;
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ld = (k >> 33) as f64 / 2f64.powi(31) * 3.0;
+            let y = 0.5 + 0.9 * lm + 0.7 * ln - 2.0 * ld;
+            ols.add(&[lm, ln, ld], y).unwrap();
+        }
+        let fit = ols.solve().unwrap();
+        assert!((fit.intercept() - 0.5).abs() < 1e-9);
+        assert!((fit.coef(0) - 0.9).abs() < 1e-9);
+        assert!((fit.coef(1) - 0.7).abs() < 1e-9);
+        assert!((fit.coef(2) + 2.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_fit_with_zero_predictors() {
+        let mut ols = Ols::new(0);
+        for y in [2.0, 4.0, 6.0] {
+            ols.add(&[], y).unwrap();
+        }
+        let fit = ols.solve().unwrap();
+        assert!((fit.intercept() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_predictors_detected() {
+        let mut ols = Ols::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            ols.add(&[x, 2.0 * x], x).unwrap(); // second predictor = 2 × first
+        }
+        assert!(matches!(ols.solve(), Err(StatsError::Degenerate(_))));
+    }
+
+    #[test]
+    fn constant_predictor_is_collinear_with_intercept() {
+        let mut ols = Ols::new(1);
+        for i in 0..10 {
+            ols.add(&[5.0], i as f64).unwrap();
+        }
+        assert!(matches!(ols.solve(), Err(StatsError::Degenerate(_))));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let mut ols = Ols::new(3);
+        ols.add(&[1.0, 2.0, 3.0], 1.0).unwrap();
+        ols.add(&[2.0, 1.0, 0.0], 2.0).unwrap();
+        assert!(matches!(
+            ols.solve(),
+            Err(StatsError::TooFewSamples { needed: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn wrong_row_width_rejected() {
+        let mut ols = Ols::new(2);
+        assert!(matches!(
+            ols.add(&[1.0], 2.0),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut ols = Ols::new(1);
+        assert!(ols.add(&[f64::NAN], 1.0).is_err());
+        assert!(ols.add(&[1.0], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn predict_matches_training_on_exact_fit() {
+        let mut ols = Ols::new(2);
+        // Rows lie exactly on y = 1.5 + 1.5·x₁ + 2.5·x₂.
+        let rows = [
+            ([1.0, 2.0], 8.0),
+            ([2.0, 1.0], 7.0),
+            ([3.0, 3.0], 13.5),
+            ([0.0, 1.0], 4.0),
+        ];
+        for (xs, y) in rows {
+            ols.add(&xs, y).unwrap();
+        }
+        let fit = ols.solve().unwrap();
+        for (xs, y) in rows {
+            assert!((fit.predict(&xs) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predictor count mismatch")]
+    fn predict_wrong_width_panics() {
+        let fit = OlsFit {
+            coefficients: vec![1.0, 2.0],
+            r_squared: 1.0,
+            n: 5,
+        };
+        fit.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn r_squared_zero_for_pure_noise_mean_model() {
+        // y unrelated to x: R² should be small.
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let (_, _, r2) = simple_linear(&x, &y).unwrap();
+        assert!(r2 < 0.05, "r2 = {r2}");
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn exact_line_recovered_for_arbitrary_parameters(
+                intercept in -1e4..1e4f64,
+                slope in -1e3..1e3f64,
+                xs in prop::collection::vec(-1e3..1e3f64, 3..60),
+            ) {
+                // Need at least two distinct x values for a unique line.
+                let distinct = {
+                    let mut v = xs.clone();
+                    v.sort_by(f64::total_cmp);
+                    v.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+                    v.len()
+                };
+                prop_assume!(distinct >= 2);
+                let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+                let (a, b, _) = simple_linear(&xs, &ys).unwrap();
+                let scale = intercept.abs().max(slope.abs()).max(1.0);
+                prop_assert!((a - intercept).abs() < 1e-5 * scale, "a {a} vs {intercept}");
+                prop_assert!((b - slope).abs() < 1e-5 * scale, "b {b} vs {slope}");
+            }
+
+            #[test]
+            fn r_squared_always_in_unit_interval(
+                rows in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..60),
+            ) {
+                let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+                let ys: Vec<f64> = rows.iter().map(|r| r.1).collect();
+                if let Ok((_, _, r2)) = simple_linear(&xs, &ys) {
+                    prop_assert!((0.0..=1.0).contains(&r2) || r2.is_nan(), "r2 = {r2}");
+                }
+            }
+
+            #[test]
+            fn residuals_orthogonal_to_predictors(
+                rows in prop::collection::vec((-1e2..1e2f64, -1e2..1e2f64, -1e2..1e2f64), 6..50),
+            ) {
+                // The normal equations force Σ residual·x = 0 — a defining
+                // invariant of least squares.
+                let mut ols = Ols::new(2);
+                for &(x1, x2, y) in &rows {
+                    ols.add(&[x1, x2], y).unwrap();
+                }
+                if let Ok(fit) = ols.solve() {
+                    let mut dot1 = 0.0;
+                    let mut dot2 = 0.0;
+                    let mut dot0 = 0.0;
+                    for &(x1, x2, y) in &rows {
+                        let r = y - fit.predict(&[x1, x2]);
+                        dot0 += r;
+                        dot1 += r * x1;
+                        dot2 += r * x2;
+                    }
+                    let tol = 1e-6 * rows.len() as f64 * 1e4;
+                    prop_assert!(dot0.abs() < tol, "Σr = {dot0}");
+                    prop_assert!(dot1.abs() < tol, "Σr·x1 = {dot1}");
+                    prop_assert!(dot2.abs() < tol, "Σr·x2 = {dot2}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The tweet-stream generator.
+//!
+//! One pass per user, seeded independently per user id so the output is
+//! bit-identical regardless of thread count:
+//!
+//! 1. **Home** — a world place sampled ∝ `population · bias`, where the
+//!    bias is a frozen per-place log-normal (Twitter adoption varies by
+//!    place — this is what spreads the Fig. 3 scatter around `y = x`).
+//! 2. **Activity** — tweet count from a floor'd Pareto (Fig. 2a), an
+//!    activity span covering a small fraction of the collection window,
+//!    and heavy-tailed gaps rescaled to that span (Fig. 2b, Table I).
+//! 3. **Movement** — a place-level random walk: each tweet moves with
+//!    `move_probability`, returning home or sampling the gravity kernel
+//!    ([`crate::kernel::MobilityKernel`]).
+//! 4. **Venues** — within a place, a user tweets from up to three frozen
+//!    venues (home/work/leisure), sticky per sojourn, plus GPS jitter and
+//!    occasional short "errands", so distinct locations per user stay
+//!    near the paper's 4.76 without fabricating cross-area transitions.
+
+use crate::config::{ConfigError, GeneratorConfig};
+use crate::gazetteer::{world_places, Place};
+use crate::kernel::MobilityKernel;
+use crate::sampling::{
+    sample_exponential, sample_mean_one_lognormal, sample_tweet_count, scatter_point,
+    uniform_in_bbox,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::collections::HashMap;
+use tweetmob_data::{Timestamp, Tweet, TweetDataset, UserId};
+use tweetmob_geo::{Point, AUSTRALIA_BBOX};
+use tweetmob_stats::rng::SplitMix64;
+
+/// GPS jitter around a venue, km (mean of the exponential scatter).
+const GPS_JITTER_KM: f64 = 0.02;
+/// Probability a tweet is posted from a short "errand" away from the
+/// sojourn venue (coffee run, shop) rather than the venue itself. Keeps
+/// distinct locations/user near the paper's 4.76 without fabricating
+/// cross-area transitions — the errand radius is well under any study
+/// area's search radius.
+const ERRAND_PROBABILITY: f64 = 0.2;
+/// Mean distance of an errand from the venue, km.
+const ERRAND_RADIUS_KM: f64 = 0.4;
+/// Maximum frozen venues per (user, place).
+const MAX_VENUES: usize = 3;
+/// Venue selection CDF: 65 % primary, 25 % secondary, 10 % tertiary.
+const VENUE_CDF: [f64; MAX_VENUES] = [0.65, 0.90, 1.0];
+
+/// The synthetic tweet-stream generator.
+///
+/// ```
+/// use tweetmob_synth::{GeneratorConfig, TweetGenerator};
+///
+/// let mut cfg = GeneratorConfig::small();
+/// cfg.n_users = 200; // keep the doctest fast
+/// let ds = TweetGenerator::new(cfg).generate();
+/// assert_eq!(ds.n_users(), 200);
+/// assert!(ds.n_tweets() >= 200);
+/// ```
+#[derive(Debug)]
+pub struct TweetGenerator {
+    config: GeneratorConfig,
+    places: Vec<Place>,
+    kernel: MobilityKernel,
+    /// Cumulative home-assignment weights over places.
+    home_cdf: Vec<f64>,
+    /// The frozen per-place adoption bias, aligned with `places`.
+    biases: Vec<f64>,
+    /// Frozen per-place activity centroids: the official gazetteer
+    /// centre displaced by a small, place-specific offset. Real suburbs'
+    /// population centroids rarely coincide with their nominal centres;
+    /// this offset is what makes tiny search radii (the paper's 0.5 km
+    /// Fig. 3(b) variant) lose accuracy.
+    activity_centers: Vec<Point>,
+}
+
+impl TweetGenerator {
+    /// Builds a generator over the full Australian world gazetteer.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid config; use [`TweetGenerator::try_new`] to handle the
+    /// error instead.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self::try_new(config).expect("invalid generator config")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] from [`GeneratorConfig::validate`].
+    pub fn try_new(config: GeneratorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::with_places(config, world_places()))
+    }
+
+    /// Builds a generator over a custom world (used by tests and the
+    /// radius-sensitivity ablations). The config must already be valid.
+    pub fn with_places(config: GeneratorConfig, places: Vec<Place>) -> Self {
+        let kernel = MobilityKernel::build(
+            &places,
+            config.gravity_gamma,
+            config.gravity_dest_exponent,
+            config.pair_noise_sigma,
+            config.far_move_probability,
+            config.seed ^ 0xA5A5_5A5A,
+        );
+        let biases: Vec<f64> = (0..places.len())
+            .map(|i| frozen_place_bias(config.seed, i, config.bias_sigma))
+            .collect();
+        let mut home_cdf = Vec::with_capacity(places.len());
+        let mut acc = 0.0;
+        for (p, b) in places.iter().zip(&biases) {
+            acc += p.area.population as f64 * b;
+            home_cdf.push(acc);
+        }
+        let activity_centers: Vec<Point> = places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| frozen_activity_center(config.seed, i, p))
+            .collect();
+        Self {
+            config,
+            places,
+            kernel,
+            home_cdf,
+            biases,
+            activity_centers,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// The world places (index space shared with the kernel).
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// The frozen per-place Twitter-adoption bias factors.
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Generates the full dataset, parallelising across users with one
+    /// thread per available core. Output is independent of thread count:
+    /// every user stream is seeded by `(config.seed, user_id)` alone.
+    pub fn generate(&self) -> TweetDataset {
+        let n_users = self.config.n_users;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_users as usize)
+            .max(1);
+        let chunk = n_users.div_ceil(threads as u32);
+        let mut tweets: Vec<Tweet> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u32)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n_users);
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for uid in lo..hi {
+                            self.user_stream(uid, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                tweets.extend(h.join().expect("generator worker panicked"));
+            }
+        })
+        .expect("generator thread scope failed");
+        TweetDataset::from_tweets(tweets)
+    }
+
+    /// Generates one user's tweets into `out`.
+    fn user_stream(&self, uid: u32, out: &mut Vec<Tweet>) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, uid));
+        let home = self.sample_home(&mut rng);
+        let k = sample_tweet_count(&mut rng, cfg.activity_alpha, cfg.max_tweets_per_user);
+        let times = self.sample_times(&mut rng, k);
+
+        let mut venues: HashMap<usize, Vec<Point>> = HashMap::new();
+        let mut current = home;
+        // Venues are sticky per sojourn: a user tweets from one venue
+        // until they move places. Re-picking per tweet would fabricate
+        // venue-to-venue transitions inside large places, which at the
+        // metropolitan scale read as random suburb-to-suburb trips and
+        // drown the genuine (gravity-law) mobility signal.
+        let mut venue = self.pick_venue(&mut rng, &mut venues, current);
+        for (i, &time) in times.iter().enumerate() {
+            if i > 0 && rng.random::<f64>() < cfg.move_probability {
+                let next = self.next_place(&mut rng, current, home);
+                if next != current {
+                    current = next;
+                    venue = self.pick_venue(&mut rng, &mut venues, current);
+                }
+            }
+            let location = if rng.random::<f64>() < cfg.outback_noise {
+                uniform_in_bbox(&mut rng, &AUSTRALIA_BBOX)
+            } else if rng.random::<f64>() < ERRAND_PROBABILITY {
+                scatter_point(&mut rng, venue, ERRAND_RADIUS_KM)
+            } else {
+                scatter_point(&mut rng, venue, GPS_JITTER_KM)
+            };
+            out.push(Tweet::new(UserId(uid), time, location));
+        }
+    }
+
+    /// Samples a home place index from the biased population CDF.
+    fn sample_home<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.home_cdf.last().expect("world has places");
+        let target = rng.random::<f64>() * total;
+        self.home_cdf
+            .partition_point(|&c| c <= target)
+            .min(self.places.len() - 1)
+    }
+
+    /// Movement step: return home, or sample the kernel.
+    fn next_place<R: Rng>(&self, rng: &mut R, current: usize, home: usize) -> usize {
+        if current != home && rng.random::<f64>() < self.config.return_probability {
+            return home;
+        }
+        self.kernel.sample_destination(rng, current).unwrap_or(current)
+    }
+
+    /// Picks (lazily creating) one of the user's frozen venues in `place`.
+    fn pick_venue<R: Rng>(
+        &self,
+        rng: &mut R,
+        venues: &mut HashMap<usize, Vec<Point>>,
+        place: usize,
+    ) -> Point {
+        let p = &self.places[place];
+        let list = venues.entry(place).or_default();
+        let u: f64 = rng.random();
+        let want = VENUE_CDF.iter().position(|&c| u < c).unwrap_or(0);
+        while list.len() <= want {
+            list.push(scatter_point(rng, self.activity_centers[place], p.radius_km));
+        }
+        list[want]
+    }
+
+    /// Tweet timestamps for a user: an activity span covering an
+    /// exponential fraction of the window, heavy-tailed gaps rescaled to
+    /// fill it exactly.
+    fn sample_times<R: Rng>(&self, rng: &mut R, k: u32) -> Vec<Timestamp> {
+        let cfg = &self.config;
+        let window = (cfg.window_end.seconds_since(cfg.window_start)) as f64;
+        if k == 1 {
+            let at = rng.random_range(0.0..window);
+            return vec![cfg.window_start.plus_secs(at as i64)];
+        }
+        let span_frac = sample_exponential(rng, cfg.activity_span_fraction).min(0.95);
+        let span = (window * span_frac).max((k as f64) * 1.0); // ≥ 1 s per gap
+        let raw: Vec<f64> = (0..k - 1)
+            .map(|_| sample_mean_one_lognormal(rng, cfg.waiting_sigma).max(1e-9))
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        let scale = span / sum;
+        let start = rng.random_range(0.0..(window - span.min(window * 0.999)).max(1.0));
+        let mut t = start;
+        let mut times = Vec::with_capacity(k as usize);
+        times.push(cfg.window_start.plus_secs(t as i64));
+        for g in raw {
+            t += g * scale;
+            times.push(cfg.window_start.plus_secs(t.min(window) as i64));
+        }
+        times
+    }
+}
+
+/// Per-user seed derivation: one SplitMix64 step over `(seed, uid)` so
+/// consecutive user ids get decorrelated streams.
+fn user_seed(seed: u64, uid: u32) -> u64 {
+    SplitMix64::new(seed ^ ((uid as u64) << 1 | 1)).next_u64()
+}
+
+/// Frozen per-place activity centroid: the nominal centre displaced by a
+/// deterministic offset of ~0.35× the settlement radius in a hashed
+/// direction.
+fn frozen_activity_center(seed: u64, place: usize, p: &Place) -> Point {
+    let mut h = SplitMix64::new(seed.rotate_left(17) ^ (0xC0FFEE + place as u64));
+    let bearing = h.next_f64() * 360.0;
+    let dist = 0.35 * p.radius_km * (0.5 + h.next_f64());
+    tweetmob_geo::destination(p.area.center, bearing, dist)
+}
+
+/// Frozen per-place adoption bias: mean-one log-normal keyed by
+/// `(seed, place)`.
+fn frozen_place_bias(seed: u64, place: usize, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let mut h = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(place as u64));
+    let u1 = h.next_f64().max(1e-300);
+    let u2 = h.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (-sigma * sigma / 2.0 + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweetmob_data::DatasetSummary;
+    use tweetmob_geo::haversine_km;
+
+    fn small_dataset() -> TweetDataset {
+        TweetGenerator::new(GeneratorConfig::small()).generate()
+    }
+
+    #[test]
+    fn generates_requested_user_count() {
+        let ds = small_dataset();
+        assert_eq!(ds.n_users(), 2_000);
+        assert!(ds.n_tweets() >= 2_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = small_dataset();
+        let b = small_dataset();
+        assert_eq!(a.n_tweets(), b.n_tweets());
+        assert!(a
+            .iter_tweets()
+            .zip(b.iter_tweets())
+            .all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TweetGenerator::new(GeneratorConfig::small().with_seed(1)).generate();
+        let b = TweetGenerator::new(GeneratorConfig::small().with_seed(2)).generate();
+        assert_ne!(a.n_tweets(), b.n_tweets());
+    }
+
+    #[test]
+    fn all_tweets_inside_australia_and_window() {
+        let ds = small_dataset();
+        let cfg = GeneratorConfig::small();
+        for t in ds.iter_tweets() {
+            assert!(AUSTRALIA_BBOX.contains(t.location), "tweet at {}", t.location);
+            assert!(
+                t.time.within(cfg.window_start, cfg.window_end),
+                "tweet at {}",
+                t.time
+            );
+        }
+    }
+
+    #[test]
+    fn table_one_calibration_bands() {
+        // The paper's Table I: 13.3 tweets/user, 35.5 h waiting, 4.76
+        // locations/user. Bands are generous — shape, not digits.
+        let ds = TweetGenerator::new(GeneratorConfig::default()).generate();
+        let s = DatasetSummary::of(&ds);
+        assert!(
+            (8.0..20.0).contains(&s.avg_tweets_per_user),
+            "tweets/user {}",
+            s.avg_tweets_per_user
+        );
+        assert!(
+            (15.0..70.0).contains(&s.avg_waiting_time_hours),
+            "waiting {} h",
+            s.avg_waiting_time_hours
+        );
+        assert!(
+            (2.0..9.0).contains(&s.avg_locations_per_user),
+            "locations/user {}",
+            s.avg_locations_per_user
+        );
+        // Heavy-tail sanity: some enthusiasts exist.
+        assert!(s.activity.over_100 > 0);
+    }
+
+    #[test]
+    fn user_timestamps_are_nondecreasing() {
+        let ds = small_dataset();
+        for view in ds.iter_users() {
+            for w in view.times.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn population_concentrates_in_big_cities() {
+        let ds = TweetGenerator::new(GeneratorConfig::default()).generate();
+        let sydney = Point::new_unchecked(-33.8688, 151.2093);
+        let alice = Point::new_unchecked(-23.6980, 133.8807);
+        let near = |c: Point, r: f64| {
+            ds.points()
+                .iter()
+                .filter(|&&p| haversine_km(c, p) < r)
+                .count()
+        };
+        let sydney_tweets = near(sydney, 50.0);
+        let alice_tweets = near(alice, 50.0);
+        assert!(
+            sydney_tweets > 50 * alice_tweets.max(1),
+            "sydney {sydney_tweets} vs alice springs {alice_tweets}"
+        );
+    }
+
+    #[test]
+    fn movement_produces_intercity_transitions() {
+        let ds = TweetGenerator::new(GeneratorConfig::default()).generate();
+        // Count consecutive same-user pairs > 300 km apart.
+        let mut far_pairs = 0usize;
+        for view in ds.iter_users() {
+            for w in view.points.windows(2) {
+                if haversine_km(w[0], w[1]) > 300.0 {
+                    far_pairs += 1;
+                }
+            }
+        }
+        assert!(far_pairs > 100, "only {far_pairs} long-range transitions");
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let bad = GeneratorConfig {
+            n_users: 0,
+            ..GeneratorConfig::small()
+        };
+        assert!(TweetGenerator::try_new(bad).is_err());
+    }
+
+    #[test]
+    fn biases_are_frozen_and_positive() {
+        let g1 = TweetGenerator::new(GeneratorConfig::small());
+        let g2 = TweetGenerator::new(GeneratorConfig::small());
+        assert_eq!(g1.biases(), g2.biases());
+        assert!(g1.biases().iter().all(|&b| b > 0.0));
+        let g3 = TweetGenerator::new(GeneratorConfig::small().with_seed(9));
+        assert_ne!(g1.biases(), g3.biases());
+    }
+
+    #[test]
+    fn zero_bias_sigma_means_unit_bias() {
+        let cfg = GeneratorConfig {
+            bias_sigma: 0.0,
+            ..GeneratorConfig::small()
+        };
+        let g = TweetGenerator::new(cfg);
+        assert!(g.biases().iter().all(|&b| b == 1.0));
+    }
+
+    #[test]
+    fn single_user_world_stays_put() {
+        let places = world_places();
+        let one = vec![places[0]];
+        let cfg = GeneratorConfig {
+            n_users: 5,
+            ..GeneratorConfig::small()
+        };
+        let g = TweetGenerator::with_places(cfg, one.clone());
+        let ds = g.generate();
+        // Every tweet scatters around the single place.
+        for p in ds.points() {
+            let d = haversine_km(one[0].area.center, *p);
+            assert!(d < one[0].radius_km * 4.0 + GPS_JITTER_KM * 4.0 + 1e-6, "d = {d}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: generate a synthetic tweet stream, estimate population,
+//! extract mobility, and compare the gravity and radiation models.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tweetmob::core::{Experiment, Scale};
+use tweetmob::data::DatasetSummary;
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn main() {
+    // 1. Generate a synthetic stream over real Australian geography.
+    //    (GeneratorConfig::paper_scale() reproduces the paper's 473,956
+    //    users; `small` keeps this example instant.)
+    let config = GeneratorConfig::small();
+    let dataset = TweetGenerator::new(config).generate();
+    println!("generated {} tweets from {} users", dataset.n_tweets(), dataset.n_users());
+    println!();
+
+    // 2. Dataset statistics (the paper's Table I).
+    println!("--- dataset summary ---");
+    println!("{}", DatasetSummary::of(&dataset));
+    println!();
+
+    // 3. Population estimation at the national scale (Fig. 3).
+    let experiment = Experiment::new(&dataset);
+    match experiment.population_correlation(Scale::National) {
+        Ok(pop) => {
+            println!("--- population estimation, national scale ---");
+            println!(
+                "Pearson r = {:.3} (p = {:.2e}) over {} cities",
+                pop.correlation.r,
+                pop.correlation.p_two_tailed,
+                pop.areas.len()
+            );
+            for a in pop.areas.iter().take(5) {
+                println!(
+                    "  {:<12} census {:>9.0}  rescaled-twitter {:>9.0}",
+                    a.name, a.census, a.rescaled
+                );
+            }
+            println!("  ...");
+        }
+        Err(e) => println!("population estimation failed: {e}"),
+    }
+    println!();
+
+    // 4. Mobility models (Fig. 4 / Table II).
+    match experiment.mobility(Scale::National) {
+        Ok(report) => {
+            println!("--- mobility estimation, national scale ---");
+            print!("{report}");
+        }
+        Err(e) => println!("mobility estimation failed: {e}"),
+    }
+}

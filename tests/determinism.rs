@@ -1,0 +1,62 @@
+//! Whole-pipeline determinism: identical config ⇒ bit-identical dataset,
+//! experiment results and simulations — the property that makes
+//! EXPERIMENTS.md numbers reproducible on any machine and thread count.
+
+use tweetmob::core::{Experiment, Scale};
+use tweetmob::epidemic::{MobilityNetwork, OutbreakScenario};
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn config() -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 3_000;
+    cfg
+}
+
+#[test]
+fn generator_is_bit_identical_across_runs() {
+    let a = TweetGenerator::new(config()).generate();
+    let b = TweetGenerator::new(config()).generate();
+    assert_eq!(a.n_tweets(), b.n_tweets());
+    assert!(a.iter_tweets().zip(b.iter_tweets()).all(|(x, y)| x == y));
+}
+
+#[test]
+fn experiment_results_are_reproducible() {
+    let a = TweetGenerator::new(config()).generate();
+    let b = TweetGenerator::new(config()).generate();
+    let ea = Experiment::new(&a);
+    let eb = Experiment::new(&b);
+    let pa = ea.population_correlation(Scale::National).unwrap();
+    let pb = eb.population_correlation(Scale::National).unwrap();
+    assert_eq!(pa.correlation.r, pb.correlation.r);
+    let ma = ea.mobility(Scale::National).unwrap();
+    let mb = eb.mobility(Scale::National).unwrap();
+    assert_eq!(ma.gravity2.gamma, mb.gravity2.gamma);
+    assert_eq!(ma.od_total, mb.od_total);
+}
+
+#[test]
+fn different_seed_changes_everything_downstream() {
+    let a = TweetGenerator::new(config()).generate();
+    let b = TweetGenerator::new(config().with_seed(424242)).generate();
+    let ga = Experiment::new(&a).mobility(Scale::National).unwrap();
+    let gb = Experiment::new(&b).mobility(Scale::National).unwrap();
+    assert_ne!(ga.od_total, gb.od_total);
+    assert_ne!(ga.gravity2.gamma, gb.gravity2.gamma);
+}
+
+#[test]
+fn stochastic_epidemic_reproducible_given_seed() {
+    let net = MobilityNetwork::from_flows(
+        vec![100_000.0, 60_000.0, 40_000.0],
+        &[(0, 1, 5.0), (1, 0, 5.0), (1, 2, 2.0), (2, 1, 2.0)],
+        0.04,
+    )
+    .unwrap();
+    let scenario = OutbreakScenario::new(net, 0.5, 0.2).seed(0, 25.0);
+    let a = scenario.run_stochastic(120.0, 0.25, 7).unwrap();
+    let b = scenario.run_stochastic(120.0, 0.25, 7).unwrap();
+    assert_eq!(a.infected, b.infected);
+    let c = scenario.run_stochastic(120.0, 0.25, 8).unwrap();
+    assert_ne!(a.infected, c.infected);
+}

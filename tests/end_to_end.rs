@@ -1,0 +1,198 @@
+//! End-to-end integration: generator → I/O → experiment → models →
+//! epidemic, across every crate in the workspace.
+
+use std::sync::OnceLock;
+use tweetmob::core::{AreaSet, Experiment, PopulationSource, Scale};
+use tweetmob::data::{io, DatasetSummary, TweetDataset};
+use tweetmob::epidemic::{MobilityNetwork, OutbreakScenario};
+use tweetmob::geo::{DensityGrid, AUSTRALIA_BBOX};
+use tweetmob::models::InterveningPopulation;
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn dataset() -> &'static TweetDataset {
+    static DS: OnceLock<TweetDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let mut cfg = GeneratorConfig::small();
+        cfg.n_users = 5_000;
+        TweetGenerator::new(cfg).generate()
+    })
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_experiment_results() {
+    let ds = dataset();
+    let mut buf = Vec::new();
+    io::write_jsonl(ds, &mut buf).expect("serialise");
+    let back = io::read_jsonl(&buf[..]).expect("deserialise");
+    assert_eq!(ds.n_tweets(), back.n_tweets());
+    // Population estimates must be identical after a round trip.
+    let a = Experiment::new(ds)
+        .population_correlation(Scale::National)
+        .unwrap();
+    let b = Experiment::new(&back)
+        .population_correlation(Scale::National)
+        .unwrap();
+    for (x, y) in a.areas.iter().zip(&b.areas) {
+        assert_eq!(x.twitter_users, y.twitter_users, "{}", x.name);
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_dataset() {
+    let ds = dataset();
+    let mut buf = Vec::new();
+    io::write_csv(ds, &mut buf).expect("serialise");
+    let back = io::read_csv(&buf[..]).expect("deserialise");
+    assert_eq!(ds.n_tweets(), back.n_tweets());
+    assert_eq!(ds.n_users(), back.n_users());
+    let sa = DatasetSummary::of(ds);
+    let sb = DatasetSummary::of(&back);
+    assert_eq!(sa.n_tweets, sb.n_tweets);
+    assert!((sa.avg_waiting_time_hours - sb.avg_waiting_time_hours).abs() < 1e-9);
+}
+
+#[test]
+fn density_grid_covers_all_generated_tweets() {
+    let ds = dataset();
+    let mut grid = DensityGrid::new(AUSTRALIA_BBOX, 0.25);
+    grid.extend(ds.points().iter().copied());
+    assert_eq!(grid.total() as usize, ds.n_tweets());
+    assert_eq!(grid.dropped(), 0, "generator must stay inside the bbox");
+}
+
+#[test]
+fn mobility_fit_feeds_epidemic_simulation() {
+    let ds = dataset();
+    let exp = Experiment::new(ds);
+    let report = exp.mobility(Scale::National).expect("mobility fit");
+
+    let areas = AreaSet::of_scale(Scale::National);
+    let populations = areas.census_populations();
+    let n = areas.len();
+    let distances: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| areas.distance_km(i, j)).collect())
+        .collect();
+    let centers = areas.centers();
+    let calc = InterveningPopulation::build(&centers, &populations);
+    let intervening: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { calc.s(i, j) })
+                .collect()
+        })
+        .collect();
+    let net = MobilityNetwork::from_model(
+        &report.gravity2,
+        populations,
+        &distances,
+        &intervening,
+        0.02,
+    )
+    .expect("network");
+    let tl = OutbreakScenario::new(net, 0.5, 0.2)
+        .seed(0, 50.0)
+        .run_deterministic(200.0, 0.25)
+        .expect("simulation");
+    // The outbreak must leave Sydney and reach Melbourne (patch 1).
+    assert!(tl.final_size(1) > 1_000.0, "melbourne {}", tl.final_size(1));
+    // Arrival order respects the mobility structure: Melbourne (huge,
+    // close) before Darwin (small, far — last patch index 14).
+    let mel = tl.arrival_time(1, 100.0).expect("melbourne reached");
+    let darwin = tl.arrival_time(14, 100.0).expect("darwin reached");
+    assert!(mel < darwin, "melbourne {mel} vs darwin {darwin}");
+}
+
+#[test]
+fn effective_distance_beats_geography_as_arrival_predictor() {
+    use tweetmob::epidemic::{arrival_time_correlation, effective_distance_from};
+    let ds = dataset();
+    let exp = Experiment::new(ds);
+    let report = exp.mobility(Scale::National).expect("mobility fit");
+    let areas = AreaSet::of_scale(Scale::National);
+    let n = areas.len();
+    let populations = areas.census_populations();
+    let distances: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| areas.distance_km(i, j)).collect())
+        .collect();
+    let centers = areas.centers();
+    let calc = InterveningPopulation::build(&centers, &populations);
+    let intervening: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { calc.s(i, j) })
+                .collect()
+        })
+        .collect();
+    let net = MobilityNetwork::from_model(
+        &report.gravity2,
+        populations,
+        &distances,
+        &intervening,
+        0.02,
+    )
+    .expect("network");
+    let tl = OutbreakScenario::new(net.clone(), 0.5, 0.2)
+        .seed(0, 20.0)
+        .run_deterministic(365.0, 0.25)
+        .expect("simulation");
+    let d_eff = effective_distance_from(&net, 0);
+    let d_geo: Vec<f64> = (0..n).map(|j| areas.distance_km(0, j)).collect();
+    let c_eff = arrival_time_correlation(&d_eff, &tl, 0, 100.0).expect("eff");
+    let c_geo = arrival_time_correlation(&d_geo, &tl, 0, 100.0).expect("geo");
+    assert!(
+        c_eff.correlation.r > c_geo.correlation.r + 0.1,
+        "effective {:.3} should clearly beat geographic {:.3}",
+        c_eff.correlation.r,
+        c_geo.correlation.r
+    );
+    assert!(c_eff.correlation.r > 0.9, "effective r = {}", c_eff.correlation.r);
+}
+
+#[test]
+fn binary_format_roundtrips_through_full_pipeline() {
+    use tweetmob::data::binary;
+    let ds = dataset();
+    let mut buf = Vec::new();
+    binary::write_binary(ds, &mut buf).expect("serialise");
+    // Compact: strictly under 30 bytes/tweet including the header.
+    assert!(buf.len() < 30 * ds.n_tweets());
+    let back = binary::read_binary(&buf[..]).expect("deserialise");
+    let a = Experiment::new(ds).mobility(Scale::National).unwrap();
+    let b = Experiment::new(&back).mobility(Scale::National).unwrap();
+    assert_eq!(a.od_total, b.od_total);
+    assert_eq!(a.gravity2.gamma, b.gravity2.gamma);
+}
+
+#[test]
+fn census_and_twitter_population_sources_agree_on_ordering() {
+    let ds = dataset();
+    let exp = Experiment::new(ds);
+    let tw = exp
+        .mobility_with(
+            &AreaSet::of_scale(Scale::National),
+            PopulationSource::Twitter,
+            "tw".into(),
+        )
+        .unwrap();
+    let cs = exp
+        .mobility_with(
+            &AreaSet::of_scale(Scale::National),
+            PopulationSource::Census,
+            "cs".into(),
+        )
+        .unwrap();
+    // Both population sources must support a decent gravity fit — the
+    // paper's census-swap proposal rests on this.
+    let tw_g2 = tw.evaluation("Gravity 2Param").unwrap().pearson;
+    let cs_g2 = cs.evaluation("Gravity 2Param").unwrap().pearson;
+    assert!(tw_g2 > 0.5, "twitter-fed r = {tw_g2}");
+    assert!(cs_g2 > 0.5, "census-fed r = {cs_g2}");
+}
+
+#[test]
+fn filter_bbox_is_identity_on_generated_data() {
+    let ds = dataset();
+    let filtered = ds.filter_bbox(&AUSTRALIA_BBOX);
+    assert_eq!(filtered.n_tweets(), ds.n_tweets());
+    assert_eq!(filtered.n_users(), ds.n_users());
+}

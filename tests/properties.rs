@@ -1,0 +1,169 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs, not just the synthetic presets.
+
+use proptest::prelude::*;
+use tweetmob::data::{Timestamp, Tweet, TweetDataset, UserId};
+use tweetmob::geo::{destination, haversine_km, BoundingBox, GridIndex, Point};
+use tweetmob::models::{FlowObservation, Gravity2Fit, MobilityModel};
+use tweetmob::stats::correlation::pearson;
+use tweetmob::stats::descriptive::{mean, quantile};
+use tweetmob::stats::metrics::{hit_rate, sorensen_index};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-85.0..85.0f64, -179.0..179.0f64).prop_map(|(lat, lon)| Point::new_unchecked(lat, lon))
+}
+
+fn arb_aus_point() -> impl Strategy<Value = Point> {
+    (-44.0..-10.0f64, 113.0..154.0f64).prop_map(|(lat, lon)| Point::new_unchecked(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn haversine_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = haversine_km(a, b);
+        let ba = haversine_km(b, a);
+        prop_assert!((ab - ba).abs() < 1e-9); // symmetry
+        prop_assert!(ab >= 0.0); // non-negativity
+        // Triangle inequality (with float slack).
+        let ac = haversine_km(a, c);
+        let cb = haversine_km(c, b);
+        prop_assert!(ab <= ac + cb + 1e-6);
+    }
+
+    #[test]
+    fn destination_inverts_distance(p in arb_point(), bearing in 0.0..360.0f64, dist in 0.0..5_000.0f64) {
+        let q = destination(p, bearing, dist);
+        let measured = haversine_km(p, q);
+        prop_assert!((measured - dist).abs() < 1e-6 * dist.max(1.0),
+            "wanted {dist}, measured {measured}");
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force(
+        pts in prop::collection::vec(arb_aus_point(), 1..200),
+        center in arb_aus_point(),
+        radius in 0.0..2_000.0f64,
+        cell in 0.01..5.0f64,
+    ) {
+        let index = GridIndex::build(pts.clone(), cell);
+        let mut got = index.within_radius(center, radius);
+        got.sort_unstable();
+        let want: Vec<u32> = pts.iter().enumerate()
+            .filter(|(_, &p)| haversine_km(center, p) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bounding_box_covering_contains_all(pts in prop::collection::vec(arb_point(), 1..100)) {
+        let bbox = BoundingBox::covering(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(bbox.contains(*p));
+        }
+    }
+
+    #[test]
+    fn dataset_is_sorted_and_complete(
+        rows in prop::collection::vec((0u32..20, 0i64..10_000, -40.0..-20.0f64, 120.0..150.0f64), 0..300)
+    ) {
+        let tweets: Vec<Tweet> = rows.iter()
+            .map(|&(u, t, lat, lon)| Tweet::new(
+                UserId(u), Timestamp::from_secs(t), Point::new_unchecked(lat, lon)))
+            .collect();
+        let ds = TweetDataset::from_tweets(tweets.clone());
+        prop_assert_eq!(ds.n_tweets(), tweets.len());
+        // Rows sorted by (user, time).
+        let mut prev: Option<(UserId, Timestamp)> = None;
+        for t in ds.iter_tweets() {
+            if let Some((pu, pt)) = prev {
+                prop_assert!((t.user, t.time) >= (pu, pt));
+            }
+            prev = Some((t.user, t.time));
+        }
+        // Per-user views partition the rows.
+        let total: usize = ds.iter_users().map(|v| v.len()).sum();
+        prop_assert_eq!(total, tweets.len());
+    }
+
+    #[test]
+    fn pearson_bounded_and_affine_invariant(
+        pairs in prop::collection::vec((-1e6..1e6f64, -1e6..1e6f64), 3..100),
+        scale in 0.001..1000.0f64,
+        offset in -1e5..1e5f64,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(c) = pearson(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&c.r));
+            if c.p_two_tailed.is_finite() {
+                prop_assert!((0.0..=1.0).contains(&c.p_two_tailed));
+            }
+            let x2: Vec<f64> = x.iter().map(|v| v * scale + offset).collect();
+            if let Ok(c2) = pearson(&x2, &y) {
+                prop_assert!((c.r - c2.r).abs() < 1e-6, "r {} vs {}", c.r, c2.r);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_within_sample_range(
+        xs in prop::collection::vec(-1e9..1e9f64, 1..200),
+        q in 0.0..=1.0f64,
+    ) {
+        let v = quantile(&xs, q).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo && v <= hi);
+        // Monotone in q.
+        let v2 = quantile(&xs, (q + 0.1).min(1.0)).unwrap();
+        prop_assert!(v2 >= v - 1e-9);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(xs in prop::collection::vec(-1e9..1e9f64, 1..200)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn hit_rate_and_sorensen_bounded(
+        pairs in prop::collection::vec((0.1..1e6f64, 0.1..1e6f64), 1..100),
+    ) {
+        let est: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let obs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let hr = hit_rate(&est, &obs, 0.5).unwrap();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        let ssi = sorensen_index(&est, &obs).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ssi));
+        // Perfect estimates are perfect under both metrics.
+        prop_assert_eq!(hit_rate(&obs, &obs, 0.5).unwrap(), 1.0);
+        prop_assert!((sorensen_index(&obs, &obs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gravity2_fit_recovers_generating_law(
+        c in 0.001..10.0f64,
+        gamma in 0.2..3.0f64,
+        seed_rows in prop::collection::vec((1e3..1e6f64, 1e3..1e6f64, 5.0..3_000.0f64), 10..60),
+    ) {
+        let obs: Vec<FlowObservation> = seed_rows.iter().map(|&(m, n, d)| FlowObservation {
+            origin_population: m,
+            dest_population: n,
+            distance_km: d,
+            intervening_population: 0.0,
+            observed_flow: c * m * n / d.powf(gamma),
+        }).collect();
+        if let Ok(fit) = Gravity2Fit::fit(&obs) {
+            prop_assert!((fit.gamma - gamma).abs() < 1e-6, "gamma {} vs {}", fit.gamma, gamma);
+            for o in &obs {
+                let rel = (fit.predict(o) - o.observed_flow).abs() / o.observed_flow;
+                prop_assert!(rel < 1e-6);
+            }
+        }
+    }
+}
