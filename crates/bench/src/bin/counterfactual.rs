@@ -106,7 +106,9 @@ fn main() {
         ),
     ];
 
-    let mut gap_sum: std::collections::HashMap<&str, (f64, usize)> = Default::default();
+    // BTreeMap: the verdict below folds over this map, and report lines must
+    // come out in the same order every run.
+    let mut gap_sum: std::collections::BTreeMap<&str, (f64, usize)> = Default::default();
     for (world, study, areas, radius) in setups {
         let places = if world == "Australia" {
             australia.clone()

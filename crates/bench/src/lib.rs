@@ -21,6 +21,9 @@
 //!   own scale is 473,956 — pass it for a full-scale run).
 //! * `TWEETMOB_SEED` — generator seed (default the calibrated preset).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use tweetmob_data::TweetDataset;
 use tweetmob_synth::{GeneratorConfig, TweetGenerator};
 

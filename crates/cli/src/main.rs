@@ -12,6 +12,9 @@
 //! Datasets are JSONL (default), CSV, or the compact binary `.twb`
 //! format, chosen by file extension.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 mod commands;
 

@@ -283,14 +283,22 @@ fn build_observations(
     populations: &[f64],
     od: &OdMatrix,
 ) -> Vec<FlowObservation> {
+    use tweetmob_stats::check::{debug_assert_finite_slice, debug_assert_nonneg};
+    // This is where integer OD counts and estimated populations become
+    // the floats every downstream fit consumes — the last place a NaN or
+    // negative estimate can be caught near its source.
+    debug_assert_finite_slice(populations, "area populations");
     let centers = areas.centers();
     let intervening = InterveningPopulation::build(&centers, populations);
     od.iter_pairs()
         .map(|(i, j, count)| FlowObservation {
-            origin_population: populations[i],
-            dest_population: populations[j],
-            distance_km: areas.distance_km(i, j),
-            intervening_population: intervening.s(i, j),
+            origin_population: debug_assert_nonneg(populations[i], "origin population"),
+            dest_population: debug_assert_nonneg(populations[j], "destination population"),
+            distance_km: debug_assert_nonneg(areas.distance_km(i, j), "pair distance"),
+            intervening_population: debug_assert_nonneg(
+                intervening.s(i, j),
+                "intervening population",
+            ),
             observed_flow: count as f64,
         })
         .collect()

@@ -16,6 +16,7 @@ pub struct OdMatrix {
 
 impl OdMatrix {
     /// An all-zero `n × n` matrix.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         Self {
             n,
@@ -25,6 +26,7 @@ impl OdMatrix {
 
     /// Number of areas.
     #[inline]
+    #[must_use]
     pub fn n_areas(&self) -> usize {
         self.n
     }
@@ -48,17 +50,20 @@ impl OdMatrix {
     ///
     /// If an index is out of range.
     #[inline]
+    #[must_use]
     pub fn count(&self, origin: usize, dest: usize) -> u64 {
         assert!(origin < self.n && dest < self.n, "area index out of range");
         self.counts[origin * self.n + dest]
     }
 
     /// Total trips recorded.
+    #[must_use]
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
 
     /// Number of directed pairs with at least one trip.
+    #[must_use]
     pub fn nonzero_pairs(&self) -> usize {
         self.counts.iter().filter(|&&c| c > 0).count()
     }
@@ -79,6 +84,7 @@ impl OdMatrix {
     /// # Panics
     ///
     /// If the index is out of range.
+    #[must_use]
     pub fn outflow(&self, origin: usize) -> u64 {
         assert!(origin < self.n, "area index out of range");
         self.counts[origin * self.n..(origin + 1) * self.n].iter().sum()
@@ -89,6 +95,7 @@ impl OdMatrix {
     /// # Panics
     ///
     /// If the index is out of range.
+    #[must_use]
     pub fn inflow(&self, dest: usize) -> u64 {
         assert!(dest < self.n, "area index out of range");
         (0..self.n).map(|i| self.counts[i * self.n + dest]).sum()

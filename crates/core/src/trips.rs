@@ -46,9 +46,11 @@ pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
             })
             .collect();
         for h in handles {
+            // lint: allow(no-panic) — join only fails if the worker already panicked
             merged.merge(&h.join().expect("trip extraction worker panicked"));
         }
     })
+    // lint: allow(no-panic) — scope only errs if a child thread panicked
     .expect("trip extraction scope failed");
     merged
 }

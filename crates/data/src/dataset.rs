@@ -2,7 +2,7 @@
 
 use crate::time::Timestamp;
 use crate::tweet::{Tweet, UserId};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use tweetmob_geo::{BoundingBox, Point};
 
 /// A struct-of-arrays tweet dataset, sorted by `(user, time)`.
@@ -205,15 +205,17 @@ impl TweetDataset {
     pub fn distinct_locations_per_user(&self, grain_deg: f64) -> Vec<u32> {
         let grain = grain_deg.max(1e-9);
         let mut out = Vec::with_capacity(self.n_users());
-        let mut seen: HashMap<(i64, i64), ()> = HashMap::new();
+        // BTreeSet (not a hash set): summary statistics must not depend on
+        // hash iteration order anywhere, and the per-user venue counts are
+        // tiny, so the ordered set costs nothing.
+        let mut seen: BTreeSet<(i64, i64)> = BTreeSet::new();
         for view in self.iter_users() {
             seen.clear();
             for p in view.points {
-                let key = (
+                seen.insert((
                     (p.lat / grain).round() as i64,
                     (p.lon / grain).round() as i64,
-                );
-                seen.insert(key, ());
+                ));
             }
             out.push(seen.len() as u32);
         }

@@ -84,8 +84,8 @@ impl DensityGrid {
             self.dropped += 1;
             return;
         }
-        let cx = (((p.lon - self.bbox.min_lon) / self.cell_deg) as usize).min(self.nx - 1);
-        let cy = (((p.lat - self.bbox.min_lat) / self.cell_deg) as usize).min(self.ny - 1);
+        let cx = (((p.lon - self.bbox.min_lon) / self.cell_deg).floor() as usize).min(self.nx - 1);
+        let cy = (((p.lat - self.bbox.min_lat) / self.cell_deg).floor() as usize).min(self.ny - 1);
         self.counts[cy * self.nx + cx] += 1;
         self.total += 1;
     }

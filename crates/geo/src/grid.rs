@@ -62,8 +62,8 @@ impl GridIndex {
         // Counting sort of point indices into cell buckets.
         let mut counts = vec![0u32; ncells + 1];
         let cell_of = |p: Point| -> usize {
-            let cx = (((p.lon - bbox.min_lon) / cell_deg) as usize).min(nx - 1);
-            let cy = (((p.lat - bbox.min_lat) / cell_deg) as usize).min(ny - 1);
+            let cx = (((p.lon - bbox.min_lon) / cell_deg).floor() as usize).min(nx - 1);
+            let cy = (((p.lat - bbox.min_lat) / cell_deg).floor() as usize).min(ny - 1);
             cy * nx + cx
         };
         for &p in &points {
@@ -236,10 +236,14 @@ impl GridIndex {
         let Some(overlap) = self.bbox.intersection(query) else {
             return out;
         };
-        let x0 = (((overlap.min_lon - self.bbox.min_lon) / self.cell_deg) as usize).min(self.nx - 1);
-        let x1 = (((overlap.max_lon - self.bbox.min_lon) / self.cell_deg) as usize).min(self.nx - 1);
-        let y0 = (((overlap.min_lat - self.bbox.min_lat) / self.cell_deg) as usize).min(self.ny - 1);
-        let y1 = (((overlap.max_lat - self.bbox.min_lat) / self.cell_deg) as usize).min(self.ny - 1);
+        let x0 = (((overlap.min_lon - self.bbox.min_lon) / self.cell_deg).floor() as usize)
+            .min(self.nx - 1);
+        let x1 = (((overlap.max_lon - self.bbox.min_lon) / self.cell_deg).floor() as usize)
+            .min(self.nx - 1);
+        let y0 = (((overlap.min_lat - self.bbox.min_lat) / self.cell_deg).floor() as usize)
+            .min(self.ny - 1);
+        let y1 = (((overlap.max_lat - self.bbox.min_lat) / self.cell_deg).floor() as usize)
+            .min(self.ny - 1);
         for cy in y0..=y1 {
             for cx in x0..=x1 {
                 let c = cy * self.nx + cx;

@@ -40,6 +40,7 @@ impl Polygon {
             Point::new(v.lat, v.lon)?;
         }
         let bbox = BoundingBox::covering(vertices.iter().copied())
+            // lint: allow(no-panic) — vertices.len() >= 3 was checked above
             .expect("non-empty vertex list");
         Ok(Self { vertices, bbox })
     }

@@ -1,0 +1,1308 @@
+//! # tweetmob-lint
+//!
+//! A hand-rolled static-analysis pass over the workspace's `.rs` sources,
+//! enforcing repo invariants that `clippy` cannot express. The paper's
+//! headline results (Fig. 3 Pearson r = 0.816, Table II
+//! Gravity-beats-Radiation) are pure numeric claims, so the reproduction
+//! lives or dies on silent numeric and determinism bugs: a NaN leaking
+//! into a correlation, a `HashMap` iteration reordering synthetic trips, a
+//! panicking `unwrap()` deep in a fitting loop. These rules make the
+//! conventions machine-enforced:
+//!
+//! * **`crate-header`** — every crate root declares
+//!   `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! * **`no-panic`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test, non-binary
+//!   library code. (`assert!` remains available for documented
+//!   precondition checks.)
+//! * **`float-ord`** — no NaN-unsafe float ordering: `partial_cmp` is
+//!   rejected outright, and `sort_by` / `max_by` / `min_by` comparator
+//!   closures must route through `total_cmp` (or integer `cmp`).
+//! * **`determinism`** — no `thread_rng`, `from_entropy` or
+//!   `SystemTime::now` anywhere in result-producing code, and no
+//!   `HashMap` / `HashSet` in result-producing library crates (use
+//!   `BTreeMap` / `BTreeSet`, or sort before iterating and annotate).
+//! * **`lossy-cast`** — in the numeric crates (`stats`, `models`, `core`,
+//!   `geo`), a float arithmetic expression cast straight to an integer
+//!   type must state its rounding (`.floor()` / `.ceil()` / `.round()` /
+//!   `.trunc()`) instead of relying on `as`'s silent truncation.
+//!
+//! Any finding can be suppressed with an explicit, justified annotation on
+//! the same or the preceding line:
+//!
+//! ```text
+//! // lint: allow(no-panic) — mutex poisoning is unrecoverable here
+//! ```
+//!
+//! The scanner is line/token based (no `syn`, zero dependencies): string
+//! literals, comments and `#[cfg(test)]` regions are stripped before any
+//! rule fires, so fixtures in doc comments or test modules never trip the
+//! linter.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library output feeds paper results; `HashMap`/`HashSet`
+/// are banned in their library paths (iteration order would leak into
+/// figures and tables).
+const RESULT_CRATES: &[&str] = &[
+    "tweetmob",
+    "tweetmob-geo",
+    "tweetmob-stats",
+    "tweetmob-data",
+    "tweetmob-synth",
+    "tweetmob-models",
+    "tweetmob-core",
+    "tweetmob-epidemic",
+];
+
+/// Crates where bare float→int `as` truncation is rejected.
+const CAST_STRICT_CRATES: &[&str] =
+    &["tweetmob-stats", "tweetmob-models", "tweetmob-core", "tweetmob-geo"];
+
+/// The five rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Crate root missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
+    CrateHeader,
+    /// Panicking call in library code.
+    NoPanic,
+    /// NaN-unsafe float ordering.
+    FloatOrd,
+    /// Nondeterminism source.
+    Determinism,
+    /// Bare lossy float→int cast.
+    LossyCast,
+}
+
+impl Rule {
+    /// The rule's annotation name, as written in `// lint: allow(<name>)`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CrateHeader => "crate-header",
+            Rule::NoPanic => "no-panic",
+            Rule::FloatOrd => "float-ord",
+            Rule::Determinism => "determinism",
+            Rule::LossyCast => "lossy-cast",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a source file participates in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/lib.rs` — crate root of a library crate.
+    LibRoot,
+    /// `src/main.rs` — crate root of a binary crate.
+    BinRoot,
+    /// Any other module of a library crate.
+    Library,
+    /// A module of a binary crate, or a `src/bin/*` target.
+    Binary,
+}
+
+impl FileKind {
+    fn is_library(self) -> bool {
+        matches!(self, FileKind::LibRoot | FileKind::Library)
+    }
+
+    fn is_crate_root(self) -> bool {
+        matches!(self, FileKind::LibRoot | FileKind::BinRoot)
+    }
+}
+
+/// Lints one source file given its crate name (the `name` in the package's
+/// `Cargo.toml`) and [`FileKind`]. `label` is used verbatim in
+/// diagnostics. This is the core entry point the fixture tests drive.
+#[must_use]
+pub fn lint_source(label: &str, crate_name: &str, kind: FileKind, source: &str) -> Vec<Diagnostic> {
+    let stripped = strip_non_code(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let test_regions = find_test_regions(&stripped);
+    let mut out = Vec::new();
+
+    if kind.is_crate_root() {
+        check_crate_header(label, &stripped, &mut out);
+    }
+    let code = &stripped.code;
+    let in_test = |off: usize| test_regions.iter().any(|&(s, e)| off >= s && off < e);
+
+    if kind.is_library() {
+        check_no_panic(label, code, &in_test, &mut out);
+    }
+    check_float_ord(label, code, &in_test, &mut out);
+    check_determinism(label, crate_name, kind, code, &in_test, &mut out);
+    if kind.is_library() && CAST_STRICT_CRATES.contains(&crate_name) {
+        check_lossy_cast(label, code, &in_test, &mut out);
+    }
+
+    out.retain(|d| !is_allowed(&raw_lines, d.line, d.rule));
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lints every workspace source file under `root`, returning all findings
+/// sorted by path and line.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the source tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for (path, crate_name, kind) in workspace_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        out.extend(lint_source(&label, &crate_name, kind, &source));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Enumerates the workspace's lintable `.rs` files: the root package's
+/// `src/` plus every `crates/*/src/`. Integration tests, examples and
+/// benches are exercised by `cargo test` itself and are out of scope.
+///
+/// # Errors
+///
+/// Rejects a `root` that is not a workspace (no `Cargo.toml`) — a typo'd
+/// path must not pass as "clean" — and propagates I/O failures listing
+/// directories.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String, FileKind)>> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no Cargo.toml under {} — not a workspace root", root.display()),
+        ));
+    }
+    let mut packages: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(std::result::Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        packages.extend(members);
+    }
+
+    let mut out = Vec::new();
+    for pkg in packages {
+        let src = pkg.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = package_name(&pkg)?;
+        let is_bin_crate = !src.join("lib.rs").is_file();
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let in_bin_dir = path
+                .strip_prefix(&src)
+                .ok()
+                .is_some_and(|rel| rel.starts_with("bin"));
+            let kind = if path == src.join("lib.rs") {
+                FileKind::LibRoot
+            } else if path == src.join("main.rs") {
+                FileKind::BinRoot
+            } else if in_bin_dir || is_bin_crate {
+                FileKind::Binary
+            } else {
+                FileKind::Library
+            };
+            out.push((path, crate_name.clone(), kind));
+        }
+    }
+    Ok(out)
+}
+
+/// Reads the `name = "..."` of a package's `Cargo.toml` (first `name` key
+/// in the `[package]` table).
+fn package_name(pkg: &Path) -> io::Result<String> {
+    let manifest = fs::read_to_string(pkg.join("Cargo.toml"))?;
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            if let Some(v) = line.split('"').nth(1) {
+                return Ok(v.to_string());
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("no package name in {}", pkg.display()),
+    ))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping: comments, strings and char literals become spaces so
+// token searches and paren matching see only real code.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+    /// The source with every comment/string/char-literal byte replaced by a
+    /// space (newlines preserved), so offsets map 1:1 to line numbers.
+    code: String,
+}
+
+fn strip_non_code(src: &str) -> Stripped {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        CharLit,
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' | 'b'
+                    if is_raw_string_start(&chars, i) =>
+                {
+                    // Consume the prefix (r, br) and hashes up to the quote.
+                    let mut j = i;
+                    while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    for _ in i..=j {
+                        out.push(' ');
+                    }
+                    st = St::RawStr(hashes);
+                    i = j + 1;
+                    continue;
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: 'x' or '\..'.
+                    if next == Some('\\') || chars.get(i + 2) == Some(&'\'') {
+                        st = St::CharLit;
+                        out.push(' ');
+                    } else {
+                        out.push(' '); // lifetime tick; the name stays as code
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    // Skip the escaped character.
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else if next.is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        st = St::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+            }
+            St::CharLit => {
+                out.push(' ');
+                if c == '\\' {
+                    if next.is_some() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    Stripped { code: out }
+}
+
+/// Is position `i` the start of a raw (byte) string literal: `r"`, `r#"`,
+/// `br"`, `br#"` — and not just an identifier containing `r`?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection: byte ranges of `#[test]` / `#[cfg(test)]` items.
+// ---------------------------------------------------------------------------
+
+fn find_test_regions(stripped: &Stripped) -> Vec<(usize, usize)> {
+    let code = stripped.code.as_bytes();
+    let mut regions = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending: Option<i64> = None;
+    let mut open: Vec<i64> = Vec::new(); // depths at which a test region opened
+    let mut region_start = 0usize;
+    let mut i = 0;
+    while i < code.len() {
+        match code[i] {
+            b'#' if code.get(i + 1) == Some(&b'[') => {
+                // Read the attribute up to its matching ']'.
+                let mut j = i + 2;
+                let mut brackets = 1;
+                while j < code.len() && brackets > 0 {
+                    match code[j] {
+                        b'[' => brackets += 1,
+                        b']' => brackets -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let attr = &stripped.code[i + 2..j.saturating_sub(1).max(i + 2)];
+                if attr_marks_test(attr) {
+                    pending = Some(depth);
+                }
+                i = j;
+                continue;
+            }
+            b'{' => {
+                if pending == Some(depth) {
+                    if open.is_empty() {
+                        region_start = i;
+                    }
+                    open.push(depth);
+                    pending = None;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if open.last() == Some(&depth) {
+                    open.pop();
+                    if open.is_empty() {
+                        regions.push((region_start, i + 1));
+                    }
+                }
+            }
+            b';' => {
+                if pending == Some(depth) {
+                    pending = None;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(&d) = open.first() {
+        let _ = d;
+        regions.push((region_start, code.len()));
+    }
+    regions
+}
+
+/// Does an attribute body mark a test item? True for `test`, `cfg(test)`,
+/// `cfg(all(test, ...))` and tool test attributes; false for `cfg_attr`.
+fn attr_marks_test(attr: &str) -> bool {
+    let t = attr.trim();
+    if t.starts_with("cfg_attr") {
+        return false;
+    }
+    contains_word(t, "test")
+}
+
+/// Word-boundary substring search over identifier characters.
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_of(code: &str, offset: usize) -> usize {
+    code.as_bytes()[..offset.min(code.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+// ---------------------------------------------------------------------------
+// Annotation escape hatch.
+// ---------------------------------------------------------------------------
+
+/// True when `// lint: allow(<rule>) — <reason>` (with a nonempty reason)
+/// appears on the diagnostic's line or in the contiguous `//` comment
+/// block immediately above it (so a justification may wrap lines).
+fn is_allowed(raw_lines: &[&str], line: usize, rule: Rule) -> bool {
+    let Some(idx) = line.checked_sub(1) else {
+        return false;
+    };
+    if raw_lines.get(idx).is_some_and(|t| annotation_allows(t, rule)) {
+        return true;
+    }
+    let mut above = idx;
+    while above > 0 {
+        above -= 1;
+        let Some(text) = raw_lines.get(above) else {
+            return false;
+        };
+        if !text.trim_start().starts_with("//") {
+            return false;
+        }
+        if annotation_allows(text, rule) {
+            return true;
+        }
+    }
+    false
+}
+
+fn annotation_allows(text: &str, rule: Rule) -> bool {
+    let Some(comment_at) = text.find("//") else {
+        return false;
+    };
+    let comment = &text[comment_at..];
+    let Some(at) = comment.find("lint: allow(") else {
+        return false;
+    };
+    let rest = &comment[at + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    if rest[..close].trim() != rule.name() {
+        return false;
+    }
+    // Require a justification after a dash: "— reason" or "- reason".
+    let after = &rest[close + 1..];
+    let Some(dash) = after.find(['—', '–', '-']) else {
+        return false;
+    };
+    after[dash..]
+        .chars()
+        .skip(1)
+        .any(|c| c.is_alphanumeric())
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: crate headers.
+// ---------------------------------------------------------------------------
+
+fn check_crate_header(label: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
+    let flat: String = stripped.code.chars().filter(|c| !c.is_whitespace()).collect();
+    for (needle, attr) in [
+        ("#![forbid(unsafe_code)]", "#![forbid(unsafe_code)]"),
+        ("#![deny(missing_docs)]", "#![deny(missing_docs)]"),
+    ] {
+        if !flat.contains(needle) {
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: 1,
+                rule: Rule::CrateHeader,
+                message: format!("crate root must declare `{attr}`"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no panicking calls in library code.
+// ---------------------------------------------------------------------------
+
+fn check_no_panic(
+    label: &str,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    const TOKENS: &[(&str, &str)] = &[
+        (".unwrap()", "use `?`, a default, or a documented `expect` with an annotation"),
+        (".expect(", "return an error instead, or annotate with the invariant that holds"),
+        ("panic!", "return an error; panics abort entire experiment pipelines"),
+        ("unreachable!", "make the unreachable state unrepresentable, or annotate why it cannot occur"),
+        ("todo!", "finish the implementation before merging"),
+        ("unimplemented!", "finish the implementation before merging"),
+    ];
+    for &(tok, fix) in TOKENS {
+        for off in find_token(code, tok) {
+            // `.expect(` must not match `.expect_err(`.
+            if tok == ".expect(" && code[off..].starts_with(".expect_err(") {
+                continue;
+            }
+            if in_test(off) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::NoPanic,
+                message: format!("`{}` in library code: {fix}", tok.trim_matches('.')),
+            });
+        }
+    }
+}
+
+/// All offsets of `token` in `code` at identifier boundaries (the char
+/// before the token's first ident char must not be an ident char).
+fn find_token(code: &str, token: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let first = token.as_bytes()[0];
+        let boundary = if is_ident_byte(first) {
+            at == 0 || !is_ident_byte(bytes[at - 1])
+        } else {
+            true
+        };
+        if boundary {
+            found.push(at);
+        }
+        start = at + token.len().max(1);
+    }
+    found
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: NaN-safe float ordering.
+// ---------------------------------------------------------------------------
+
+fn check_float_ord(
+    label: &str,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for off in find_token(code, "partial_cmp") {
+        if in_test(off) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: label.to_string(),
+            line: line_of(code, off),
+            rule: Rule::FloatOrd,
+            message: "`partial_cmp` is NaN-unsafe: use `f64::total_cmp` (NaN sorts last, \
+                      deterministically)"
+                .to_string(),
+        });
+    }
+    for method in ["sort_by", "sort_unstable_by", "max_by", "min_by"] {
+        let needle = format!(".{method}(");
+        for off in find_token(code, &needle) {
+            if in_test(off) {
+                continue;
+            }
+            let open = off + needle.len() - 1;
+            let Some(close) = matching_paren(code, open) else {
+                continue;
+            };
+            let span = &code[open..close];
+            let safe = span.contains("total_cmp")
+                || span.contains(".cmp(")
+                || span.contains("cmp::")
+                || span.contains("Ordering");
+            // Comparator closures built from `<`/`>` on floats are the
+            // NaN-unsafe pattern; any raw comparison inside the span that
+            // never reaches a total order is rejected.
+            if !safe {
+                out.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_of(code, off),
+                    rule: Rule::FloatOrd,
+                    message: format!(
+                        "`{method}` comparator does not use `total_cmp`/`cmp`: NaN-unsafe \
+                         and nondeterministic on poisoned input"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Offset of the `)` matching the `(` at `open`.
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: determinism.
+// ---------------------------------------------------------------------------
+
+fn check_determinism(
+    label: &str,
+    crate_name: &str,
+    kind: FileKind,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    const TOKENS: &[(&str, &str)] = &[
+        ("thread_rng", "seed an `StdRng` from the experiment config instead"),
+        ("from_entropy", "seed from the experiment config instead"),
+        ("SystemTime::now", "thread the timestamp in as data"),
+    ];
+    for &(tok, fix) in TOKENS {
+        for off in find_token(code, tok) {
+            if in_test(off) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::Determinism,
+                message: format!("`{tok}` makes results irreproducible: {fix}"),
+            });
+        }
+    }
+    if kind.is_library() && RESULT_CRATES.contains(&crate_name) {
+        for tok in ["HashMap", "HashSet"] {
+            for off in find_token(code, tok) {
+                if in_test(off) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: label.to_string(),
+                    line: line_of(code, off),
+                    rule: Rule::Determinism,
+                    message: format!(
+                        "`{tok}` in a result-producing library path: iteration order is \
+                         nondeterministic — use `BTree{}` or sort before iterating (annotate \
+                         if provably order-independent)",
+                        &tok[4..]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: lossy float→int casts.
+// ---------------------------------------------------------------------------
+
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+fn check_lossy_cast(
+    label: &str,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for off in find_token(code, " as ") {
+        if in_test(off) {
+            continue;
+        }
+        let after = &code[off + 4..];
+        let ty_len = after
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map_or(after.len(), |(i, _)| i);
+        let ty = &after[..ty_len];
+        if !INT_TYPES.contains(&ty) {
+            continue;
+        }
+        if cast_source_is_unrounded_float(code, off) {
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::LossyCast,
+                message: format!(
+                    "float arithmetic cast straight to `{ty}`: `as` truncates toward zero \
+                     silently — state the rounding with `.floor()`/`.ceil()`/`.round()`/\
+                     `.trunc()` first, or annotate"
+                ),
+            });
+        }
+    }
+}
+
+/// Walks the postfix chain ending just before ` as `: if any link is an
+/// explicit rounding call the cast is fine; otherwise the cast is flagged
+/// when the chain shows float evidence (a float literal, or `*`//`/`
+/// arithmetic inside a directly-cast parenthesized expression).
+fn cast_source_is_unrounded_float(code: &str, as_off: usize) -> bool {
+    const ROUNDING: &[&str] = &["floor", "ceil", "round", "trunc"];
+    let bytes = code.as_bytes();
+    let mut end = as_off; // exclusive end of the expression
+    let mut float_evidence = false;
+    loop {
+        while end > 0 && (bytes[end - 1] as char).is_whitespace() {
+            end -= 1;
+        }
+        if end == 0 {
+            return false;
+        }
+        match bytes[end - 1] {
+            b')' => {
+                let Some(open) = matching_paren_rev(code, end - 1) else {
+                    return false;
+                };
+                let span = &code[open + 1..end - 1];
+                if has_float_literal(span) || span.contains('/') || span.contains('*') {
+                    float_evidence = true;
+                }
+                // Is this parenthesis a call `name(...)`?
+                let mut name_end = open;
+                while name_end > 0 && (bytes[name_end - 1] as char).is_whitespace() {
+                    name_end -= 1;
+                }
+                let mut name_start = name_end;
+                while name_start > 0 && is_ident_byte(bytes[name_start - 1]) {
+                    name_start -= 1;
+                }
+                let name = &code[name_start..name_end];
+                if ROUNDING.contains(&name) {
+                    return false; // explicit rounding anywhere in the chain
+                }
+                if name.is_empty() {
+                    // A plain parenthesized expression `(...)`: the chain
+                    // ends here.
+                    return float_evidence;
+                }
+                // A call: keep walking if it is a method (`.name(`),
+                // otherwise (free function) stop.
+                let mut before = name_start;
+                while before > 0 && (bytes[before - 1] as char).is_whitespace() {
+                    before -= 1;
+                }
+                if before > 0 && bytes[before - 1] == b'.' {
+                    end = before - 1;
+                    continue;
+                }
+                return float_evidence;
+            }
+            b'0'..=b'9' => {
+                // Numeric literal: scan it; a '.' makes it float.
+                let mut start = end;
+                while start > 0
+                    && (is_ident_byte(bytes[start - 1]) || bytes[start - 1] == b'.')
+                {
+                    start -= 1;
+                }
+                let lit = &code[start..end];
+                return has_float_literal(lit) || float_evidence;
+            }
+            _ => {
+                // Identifier, index, field access: type unknown — only the
+                // accumulated evidence counts, and a bare name gives none.
+                return float_evidence && false;
+            }
+        }
+    }
+}
+
+/// Offset of the `(` matching the `)` at `close`.
+fn matching_paren_rev(code: &str, close: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the fragment contain a float literal (`1.0`, `0.5`, `1.`)?
+/// Field/method accesses (`self.nx`, `2.max`) and ranges (`0..9`) do not
+/// count.
+fn has_float_literal(fragment: &str) -> bool {
+    let bytes = fragment.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'.' {
+            continue;
+        }
+        let digit_before = i > 0 && bytes[i - 1].is_ascii_digit();
+        if !digit_before {
+            continue;
+        }
+        // Exclude ranges `0..` and method calls on integers `2.max(..)`.
+        match bytes.get(i + 1) {
+            Some(&n) if n.is_ascii_digit() => return true,
+            Some(&b'.') => continue,                       // range
+            Some(&n) if n.is_ascii_alphabetic() || n == b'_' => continue, // method/field
+            _ => return true, // `1.` at end or before an operator
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Reporting helpers used by the binary.
+// ---------------------------------------------------------------------------
+
+/// Formats findings grouped per rule with a trailing summary, matching the
+/// binary's output.
+#[must_use]
+pub fn render_report(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in diagnostics {
+        *per_rule.entry(d.rule.name()).or_insert(0) += 1;
+    }
+    if diagnostics.is_empty() {
+        out.push_str("tweetmob-lint: workspace clean\n");
+    } else {
+        let breakdown: Vec<String> = per_rule
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        out.push_str(&format!(
+            "tweetmob-lint: {} finding(s) ({})\n",
+            diagnostics.len(),
+            breakdown.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        lint_source("fixture.rs", "tweetmob-stats", FileKind::Library, src)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    // -- crate-header ------------------------------------------------------
+
+    #[test]
+    fn crate_header_fires_on_missing_attributes() {
+        let bad = "//! Docs.\npub fn f() {}\n";
+        let d = lint_source("lib.rs", "tweetmob-stats", FileKind::LibRoot, bad);
+        assert_eq!(rules(&d), vec![Rule::CrateHeader, Rule::CrateHeader]);
+        assert!(d[0].message.contains("forbid(unsafe_code)"));
+        assert!(d[1].message.contains("deny(missing_docs)"));
+    }
+
+    #[test]
+    fn crate_header_passes_with_both_attributes() {
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert!(lint_source("lib.rs", "x", FileKind::LibRoot, good).is_empty());
+    }
+
+    #[test]
+    fn crate_header_not_required_on_modules() {
+        let src = "pub fn f() {}\n";
+        assert!(lint_source("m.rs", "x", FileKind::Library, src).is_empty());
+    }
+
+    // -- no-panic ----------------------------------------------------------
+
+    #[test]
+    fn no_panic_fires_on_each_forbidden_call() {
+        let bad = "fn f(x: Option<u8>) -> u8 {\n    let y = x.unwrap();\n    \
+                   let z = x.expect(\"set\");\n    if y > z { panic!(\"no\"); }\n    \
+                   match y { 0 => todo!(), 1 => unreachable!(), _ => y }\n}\n";
+        let d = lint_lib(bad);
+        assert_eq!(d.len(), 5, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::NoPanic));
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+        assert_eq!(d[2].line, 4);
+    }
+
+    #[test]
+    fn no_panic_ignores_tests_strings_and_doc_comments() {
+        let good = "/// Call `.unwrap()` if you must: panic!() is shown here.\n\
+                    fn f() -> &'static str {\n    \"contains .unwrap() and panic!\"\n}\n\
+                    #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                    Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_lib(good).is_empty());
+    }
+
+    #[test]
+    fn no_panic_skips_binary_code() {
+        let src = "fn main() { std::fs::read(\"x\").unwrap(); }\n";
+        let d = lint_source("main.rs", "tweetmob-cli", FileKind::Binary, src);
+        assert!(d.iter().all(|d| d.rule != Rule::NoPanic), "{d:?}");
+    }
+
+    #[test]
+    fn no_panic_does_not_match_unwrap_or() {
+        let good = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\n\
+                    fn g(x: Result<u8, u8>) -> u8 { x.unwrap_or_else(|_| 4) }\n";
+        assert!(lint_lib(good).is_empty());
+    }
+
+    #[test]
+    fn no_panic_annotation_suppresses_with_reason() {
+        let src = "fn f(m: std::sync::Mutex<u8>) -> u8 {\n    \
+                   // lint: allow(no-panic) — poisoning is unrecoverable here\n    \
+                   *m.lock().unwrap()\n}\n";
+        assert!(lint_lib(src).is_empty());
+        // Without a reason the annotation is invalid and the finding stays.
+        let bare = src.replace(" — poisoning is unrecoverable here", "");
+        assert_eq!(lint_lib(&bare).len(), 1);
+        // An annotation for a different rule does not apply.
+        let wrong = src.replace("allow(no-panic)", "allow(float-ord)");
+        assert_eq!(lint_lib(&wrong).len(), 1);
+    }
+
+    // -- float-ord ---------------------------------------------------------
+
+    #[test]
+    fn float_ord_rejects_partial_cmp_and_raw_comparators() {
+        let bad = "fn f(v: &mut Vec<f64>) {\n    \
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let d = lint_lib(bad);
+        // partial_cmp + unwrap findings; the sort_by span itself is safe-by
+        // -partial_cmp detection already reporting the real hazard.
+        assert!(d.iter().any(|d| d.rule == Rule::FloatOrd), "{d:?}");
+    }
+
+    #[test]
+    fn float_ord_rejects_less_than_comparator() {
+        let bad = "fn best(xs: &[f64]) -> Option<&f64> {\n    \
+                   xs.iter().max_by(|a, b| if a < b { std::cmp::Ordering::Less } \
+                   else { std::cmp::Ordering::Greater })\n}\n";
+        // `Ordering` appears in the span, so this one is treated as routed
+        // through a total order; strip it to see the rejection.
+        let worse = "fn f(v: &mut [f64]) { v.sort_by(|a, b| b.total_cmp(a)); }\n\
+                     fn g(v: &mut [(f64, u8)]) { v.sort_by(|a, b| a.1.cmp(&b.1)); }\n";
+        assert!(lint_lib(worse).is_empty());
+        let naked = "fn h(xs: &[f64]) -> Option<&f64> {\n    \
+                     xs.iter().max_by(|a, b| panicky(a, b))\n}\n";
+        let d = lint_lib(naked);
+        assert_eq!(rules(&d), vec![Rule::FloatOrd]);
+        assert!(lint_lib(bad).is_empty());
+    }
+
+    #[test]
+    fn float_ord_accepts_total_cmp() {
+        let good = "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n\
+                    fn g(xs: &[f64]) -> Option<&f64> {\n    \
+                    xs.iter().max_by(|a, b| a.total_cmp(b))\n}\n";
+        assert!(lint_lib(good).is_empty());
+    }
+
+    #[test]
+    fn float_ord_applies_to_binaries_too() {
+        let bad = "fn main() { let mut v = vec![1.0]; v.sort_by(|a, b| cmpish(a, b)); }\n";
+        let d = lint_source("bin/x.rs", "tweetmob-bench", FileKind::Binary, bad);
+        assert_eq!(rules(&d), vec![Rule::FloatOrd]);
+    }
+
+    // -- determinism -------------------------------------------------------
+
+    #[test]
+    fn determinism_rejects_ambient_entropy_and_clocks() {
+        let bad = "fn f() {\n    let mut rng = rand::thread_rng();\n    \
+                   let t = std::time::SystemTime::now();\n}\n";
+        let d = lint_lib(bad);
+        assert_eq!(rules(&d), vec![Rule::Determinism, Rule::Determinism]);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn determinism_rejects_hash_collections_in_result_crates() {
+        let bad = "use std::collections::HashMap;\n\
+                   fn f() -> HashMap<u8, u8> { HashMap::new() }\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, bad);
+        assert_eq!(d.len(), 3, "{d:?}"); // use + return type + constructor
+        assert!(d.iter().all(|d| d.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn determinism_allows_hash_collections_outside_result_crates() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashMap<u8, u8> { HashMap::new() }\n";
+        let d = lint_source("m.rs", "tweetmob-lint", FileKind::Library, src);
+        assert!(d.is_empty(), "{d:?}");
+        let e = lint_source("bin/x.rs", "tweetmob-core", FileKind::Binary, src);
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn determinism_accepts_btree_and_seeded_rngs() {
+        let good = "use std::collections::BTreeMap;\n\
+                    fn f(seed: u64) -> BTreeMap<u8, u8> { let _ = seed; BTreeMap::new() }\n";
+        assert!(lint_source("m.rs", "tweetmob-core", FileKind::Library, good).is_empty());
+    }
+
+    // -- lossy-cast --------------------------------------------------------
+
+    #[test]
+    fn lossy_cast_rejects_bare_float_arithmetic_truncation() {
+        let bad = "fn f(lon: f64, cell: f64) -> usize {\n    ((lon + 1.0) / cell) as usize\n}\n";
+        let d = lint_lib(bad);
+        assert_eq!(rules(&d), vec![Rule::LossyCast]);
+        assert_eq!(d[0].line, 2);
+        let literal = "fn g() -> i64 { 2.5 as i64 }\n";
+        assert_eq!(rules(&lint_lib(literal)), vec![Rule::LossyCast]);
+    }
+
+    #[test]
+    fn lossy_cast_accepts_explicit_rounding_and_integer_casts() {
+        let good = "fn f(lon: f64, cell: f64) -> usize {\n    ((lon + 1.0) / cell).floor() as usize\n}\n\
+                    fn g(h: f64) -> (usize, usize) { (h.floor() as usize, h.ceil() as usize) }\n\
+                    fn h(n: usize) -> f64 { n as f64 }\n\
+                    fn k(starts: &[u32], c: usize) -> usize { starts[c] as usize }\n\
+                    fn m(i: usize) -> u32 { i as u32 }\n";
+        assert!(lint_lib(good).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_sees_rounding_through_a_chain() {
+        let good = "fn f(x: f64) -> usize { (x / 2.0).floor().max(0.0) as usize }\n";
+        assert!(lint_lib(good).is_empty(), "{:?}", lint_lib(good));
+        let bad = "fn g(x: f64) -> usize { (x / 2.0).max(0.0) as usize }\n";
+        assert_eq!(rules(&lint_lib(bad)), vec![Rule::LossyCast]);
+    }
+
+    #[test]
+    fn lossy_cast_only_in_strict_crates() {
+        let src = "fn f(x: f64) -> usize { (x / 2.0) as usize }\n";
+        let d = lint_source("m.rs", "tweetmob-plot", FileKind::Library, src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn lossy_cast_annotation_suppresses() {
+        let src = "fn f(x: f64) -> usize {\n    \
+                   // lint: allow(lossy-cast) — x is a trusted cell index in [0, n)\n    \
+                   (x / 2.0) as usize\n}\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    // -- scanner internals -------------------------------------------------
+
+    #[test]
+    fn stripper_blanks_strings_comments_and_char_literals() {
+        let src = "let s = \"panic!()\"; // panic!()\nlet c = '\\u{1F600}'; /* .unwrap() */\n";
+        let stripped = strip_non_code(src);
+        assert!(!stripped.code.contains("panic"));
+        assert!(!stripped.code.contains("unwrap"));
+        assert_eq!(stripped.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> String { format!(r#\"panic!() \"quoted\"\"#) }\n\
+                   fn g() { Some(1).unwrap(); }\n";
+        let d = lint_lib(src);
+        assert_eq!(rules(&d), vec![Rule::NoPanic]);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn test_regions_cover_nested_items_and_reset_after() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() { Some(1).unwrap(); }\n}\n\
+                   fn live() { Some(2).unwrap(); }\n";
+        let d = lint_lib(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_statement_does_not_latch() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() { Some(2).unwrap(); }\n";
+        let d = lint_lib(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn render_report_summarises_per_rule() {
+        let d = lint_lib("fn f(x: Option<u8>) { x.unwrap(); }\n");
+        let report = render_report(&d);
+        assert!(report.contains("fixture.rs:1: [no-panic]"));
+        assert!(report.contains("1 finding(s) (no-panic: 1)"));
+        assert!(render_report(&[]).contains("workspace clean"));
+    }
+}

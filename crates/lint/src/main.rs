@@ -1,0 +1,59 @@
+//! `tweetmob-lint` — runs the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p tweetmob-lint            # lint the enclosing workspace
+//! cargo run -p tweetmob-lint -- <root>  # lint an explicit workspace root
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 with `file:line: [rule] message`
+//! diagnostics otherwise, and 2 on I/O errors. See the crate docs of
+//! `tweetmob_lint` (or `DESIGN.md` §"Static analysis & invariants") for
+//! the rules and the `// lint: allow(<rule>) — <reason>` escape hatch.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => workspace_root(),
+    };
+    match tweetmob_lint::lint_workspace(&root) {
+        Ok(diags) => {
+            print!("{}", tweetmob_lint::render_report(&diags));
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tweetmob-lint: cannot lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: the nearest ancestor of the current directory with
+/// a `Cargo.toml` declaring `[workspace]`, falling back to this crate's
+/// compile-time location (`crates/lint/../..`).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = Some(cwd.as_path());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+}

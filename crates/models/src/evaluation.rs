@@ -3,6 +3,7 @@
 use crate::traits::{FlowObservation, MobilityModel, ModelError};
 use serde::Serialize;
 use std::fmt;
+use tweetmob_stats::check::{debug_assert_finite, debug_assert_nonneg, debug_assert_prob};
 use tweetmob_stats::correlation::{log_pearson, spearman};
 use tweetmob_stats::metrics::{hit_rate, log_rmse, sorensen_index};
 
@@ -11,6 +12,7 @@ use tweetmob_stats::metrics::{hit_rate, log_rmse, sorensen_index};
 /// `pearson` and `hit_rate_50` are the two Table-II metrics; the rest
 /// answer the paper's future-work call for "more metrics".
 #[derive(Debug, Clone, Serialize)]
+#[must_use = "an evaluation is pure data; dropping it discards the model's scores"]
 pub struct ModelEvaluation {
     /// Model display name.
     pub model: &'static str,
@@ -111,17 +113,28 @@ pub fn evaluate_vectors(
     let rho = spearman(&est, &obs)
         .map(|c| c.r)
         .unwrap_or(f64::NAN);
+    // `pearson_p` and `spearman` keep their documented NaN sentinels;
+    // everything else must come out finite and in range.
     Ok(ModelEvaluation {
         model,
-        pearson: corr.r,
+        pearson: debug_assert_finite(corr.r, "evaluation pearson r"),
         pearson_p: corr.p_two_tailed,
-        hit_rate_50: hit_rate(&est, &obs, 0.5)
-            .map_err(|_| ModelError::DegenerateFit("hit-rate undefined"))?,
-        log_rmse: log_rmse(&est, &obs)
-            .map_err(|_| ModelError::DegenerateFit("log-rmse undefined"))?,
+        hit_rate_50: debug_assert_prob(
+            hit_rate(&est, &obs, 0.5)
+                .map_err(|_| ModelError::DegenerateFit("hit-rate undefined"))?,
+            "evaluation hit rate",
+        ),
+        log_rmse: debug_assert_nonneg(
+            log_rmse(&est, &obs)
+                .map_err(|_| ModelError::DegenerateFit("log-rmse undefined"))?,
+            "evaluation log-RMSE",
+        ),
         spearman: rho,
-        sorensen: sorensen_index(&est, &obs)
-            .map_err(|_| ModelError::DegenerateFit("sorensen undefined"))?,
+        sorensen: debug_assert_prob(
+            sorensen_index(&est, &obs)
+                .map_err(|_| ModelError::DegenerateFit("sorensen undefined"))?,
+            "evaluation Sørensen index",
+        ),
         n_pairs: est.len(),
     })
 }

@@ -8,6 +8,7 @@
 
 use crate::traits::{FlowObservation, MobilityModel, ModelError};
 use serde::{Deserialize, Serialize};
+use tweetmob_stats::check::debug_assert_finite;
 use tweetmob_stats::regression::Ols;
 use tweetmob_stats::StatsError;
 
@@ -74,11 +75,11 @@ impl Gravity4Fit {
         let n_used = ols.n();
         let fit = ols.solve().map_err(map_stats_err)?;
         Ok(Self {
-            c: 10f64.powf(fit.intercept()),
-            alpha: fit.coef(0),
-            beta: fit.coef(1),
-            gamma: -fit.coef(2),
-            log_r_squared: fit.r_squared,
+            c: debug_assert_finite(10f64.powf(fit.intercept()), "gravity-4 C"),
+            alpha: debug_assert_finite(fit.coef(0), "gravity-4 alpha"),
+            beta: debug_assert_finite(fit.coef(1), "gravity-4 beta"),
+            gamma: debug_assert_finite(-fit.coef(2), "gravity-4 gamma"),
+            log_r_squared: debug_assert_finite(fit.r_squared, "gravity-4 R^2"),
             n_used,
         })
     }
@@ -112,9 +113,9 @@ impl Gravity2Fit {
         let n_used = ols.n();
         let fit = ols.solve().map_err(map_stats_err)?;
         Ok(Self {
-            c: 10f64.powf(fit.intercept()),
-            gamma: -fit.coef(0),
-            log_r_squared: fit.r_squared,
+            c: debug_assert_finite(10f64.powf(fit.intercept()), "gravity-2 C"),
+            gamma: debug_assert_finite(-fit.coef(0), "gravity-2 gamma"),
+            log_r_squared: debug_assert_finite(fit.r_squared, "gravity-2 R^2"),
             n_used,
         })
     }

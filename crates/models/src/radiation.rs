@@ -12,6 +12,7 @@
 use crate::traits::{FlowObservation, MobilityModel, ModelError};
 use serde::{Deserialize, Serialize};
 use tweetmob_geo::{haversine_km, Point};
+use tweetmob_stats::check::debug_assert_finite;
 
 /// Efficient `s(i, j)` computation over a fixed set of areas.
 ///
@@ -142,6 +143,7 @@ pub struct RadiationFit {
 
 impl RadiationFit {
     /// The structural factor `φ = m n / ((m+s)(m+n+s))`.
+    #[must_use]
     pub fn structural_factor(obs: &FlowObservation) -> f64 {
         let (m, n, s) = (
             obs.origin_population,
@@ -171,7 +173,7 @@ impl RadiationFit {
             return Err(ModelError::TooFewObservations { needed: 1, got: 0 });
         }
         Ok(Self {
-            c: 10f64.powf(acc / n_used as f64),
+            c: debug_assert_finite(10f64.powf(acc / n_used as f64), "radiation C"),
             n_used,
         })
     }

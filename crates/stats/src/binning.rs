@@ -105,6 +105,7 @@ impl LogBins {
             return None;
         }
         let first = self.edges[0];
+        // lint: allow(no-panic) — constructors guarantee at least two edges
         let last = *self.edges.last().unwrap();
         if x < first || x > last {
             return None;

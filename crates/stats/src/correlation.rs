@@ -5,12 +5,14 @@
 //! 2.06×10⁻¹⁵" (Fig. 3, n = 60) and the per-scale model Pearson scores in
 //! Table II.
 
+use crate::check::{debug_assert_finite, debug_assert_prob};
 use crate::distributions::student_t_two_tailed;
 use crate::{check_finite, check_paired, Result, StatsError};
 use serde::Serialize;
 
 /// A correlation estimate with its significance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[must_use = "a correlation is pure data; dropping it discards the estimate"]
 pub struct Correlation {
     /// Correlation coefficient in `[-1, 1]`.
     pub r: f64,
@@ -59,13 +61,18 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<Correlation> {
     if syy == 0.0 {
         return Err(StatsError::Degenerate("y has zero variance"));
     }
-    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let r = debug_assert_finite(
+        (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0),
+        "pearson r",
+    );
     let df = n - 2.0;
     let p = if r.abs() >= 1.0 {
+        // NaN sentinel: the t statistic diverges at |r| = 1 (documented
+        // on `Correlation::p_two_tailed`), so no probability check here.
         f64::NAN
     } else {
         let t = r * (df / (1.0 - r * r)).sqrt();
-        student_t_two_tailed(t, df)?
+        debug_assert_prob(student_t_two_tailed(t, df)?, "pearson p-value")
     };
     Ok(Correlation {
         r,

@@ -83,6 +83,7 @@ pub fn median(xs: &[f64]) -> Result<f64> {
 
 /// A one-pass numeric summary of a sample.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a summary is pure data; dropping it discards the statistics"]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -29,6 +29,9 @@
 //! * **Concentration indices** ([`concentration`]) — Gini and Theil —
 //!   quantifying the "sparse and uneven population distribution" the
 //!   paper blames for Radiation's misfit.
+//! * **Numeric-invariant assertions** ([`check`]) — finite / non-negative
+//!   / probability checks threaded through the fitting and evaluation
+//!   hot paths so poisoned values fail loudly instead of propagating.
 //!
 //! ## Example
 //!
@@ -53,6 +56,7 @@
 
 pub mod binning;
 pub mod bootstrap;
+pub mod check;
 pub mod concentration;
 pub mod correlation;
 pub mod descriptive;

@@ -8,6 +8,7 @@
 //! Sørensen similarity index (common-part-of-commuters) that the mobility
 //! literature uses to compare flow matrices.
 
+use crate::check::{debug_assert_nonneg, debug_assert_prob};
 use crate::{check_paired, Result, StatsError};
 
 /// Fraction of estimates whose relative error `|est − obs| / obs` is
@@ -35,7 +36,7 @@ pub fn hit_rate(estimated: &[f64], observed: &[f64], q: f64) -> Result<f64> {
     if used == 0 {
         return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
     }
-    Ok(hits as f64 / used as f64)
+    Ok(debug_assert_prob(hits as f64 / used as f64, "hit rate"))
 }
 
 /// Root-mean-square error.
@@ -92,7 +93,7 @@ pub fn mape(estimated: &[f64], observed: &[f64]) -> Result<f64> {
     if used == 0 {
         return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
     }
-    Ok(acc / used as f64)
+    Ok(debug_assert_nonneg(acc / used as f64, "MAPE"))
 }
 
 /// RMSE of `log10` values over pairs where both sides are positive —
@@ -116,7 +117,7 @@ pub fn log_rmse(estimated: &[f64], observed: &[f64]) -> Result<f64> {
     if used == 0 {
         return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
     }
-    Ok((ss / used as f64).sqrt())
+    Ok(debug_assert_nonneg((ss / used as f64).sqrt(), "log-RMSE"))
 }
 
 /// Sørensen similarity index between two non-negative flow vectors
@@ -143,7 +144,7 @@ pub fn sorensen_index(estimated: &[f64], observed: &[f64]) -> Result<f64> {
     if total == 0.0 {
         return Err(StatsError::Degenerate("both flow vectors are zero"));
     }
-    Ok(2.0 * min_sum / total)
+    Ok(debug_assert_prob(2.0 * min_sum / total, "Sørensen index"))
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ pub fn fit_scan_xmin(xs: &[f64]) -> Result<PowerLawFit> {
         });
     }
     positive.sort_by(f64::total_cmp);
-    let cutoff = positive[(positive.len() as f64 * 0.9) as usize];
+    let cutoff = positive[(positive.len() as f64 * 0.9).floor() as usize];
     let mut candidates: Vec<f64> = positive.clone();
     candidates.dedup();
     let mut best: Option<PowerLawFit> = None;

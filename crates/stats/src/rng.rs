@@ -46,6 +46,8 @@ impl SplitMix64 {
     #[inline]
     pub fn next_below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
+        // lint: allow(lossy-cast) — integer-only u128 fixed-point multiply; the
+        // shift guarantees the result is < bound and fits in usize.
         ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 }

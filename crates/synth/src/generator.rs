@@ -26,7 +26,7 @@ use crate::sampling::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tweetmob_data::{Timestamp, Tweet, TweetDataset, UserId};
 use tweetmob_geo::{Point, AUSTRALIA_BBOX};
 use tweetmob_stats::rng::SplitMix64;
@@ -82,6 +82,8 @@ impl TweetGenerator {
     /// On an invalid config; use [`TweetGenerator::try_new`] to handle the
     /// error instead.
     pub fn new(config: GeneratorConfig) -> Self {
+        // lint: allow(no-panic) — documented panicking constructor; try_new is
+        // the fallible variant
         Self::try_new(config).expect("invalid generator config")
     }
 
@@ -172,9 +174,11 @@ impl TweetGenerator {
                 })
                 .collect();
             for h in handles {
+                // lint: allow(no-panic) — join only fails if the worker already panicked
                 tweets.extend(h.join().expect("generator worker panicked"));
             }
         })
+        // lint: allow(no-panic) — scope only errs if a child thread panicked
         .expect("generator thread scope failed");
         TweetDataset::from_tweets(tweets)
     }
@@ -187,7 +191,10 @@ impl TweetGenerator {
         let k = sample_tweet_count(&mut rng, cfg.activity_alpha, cfg.max_tweets_per_user);
         let times = self.sample_times(&mut rng, k);
 
-        let mut venues: HashMap<usize, Vec<Point>> = HashMap::new();
+        // BTreeMap (not HashMap): venue state must never depend on hash
+        // iteration order — tests/determinism.rs holds the whole stream
+        // bit-identical across runs and thread counts.
+        let mut venues: BTreeMap<usize, Vec<Point>> = BTreeMap::new();
         let mut current = home;
         // Venues are sticky per sojourn: a user tweets from one venue
         // until they move places. Re-picking per tweet would fabricate
@@ -216,6 +223,7 @@ impl TweetGenerator {
 
     /// Samples a home place index from the biased population CDF.
     fn sample_home<R: Rng>(&self, rng: &mut R) -> usize {
+        // lint: allow(no-panic) — gazetteers are validated non-empty before use
         let total = *self.home_cdf.last().expect("world has places");
         let target = rng.random::<f64>() * total;
         self.home_cdf
@@ -235,7 +243,7 @@ impl TweetGenerator {
     fn pick_venue<R: Rng>(
         &self,
         rng: &mut R,
-        venues: &mut HashMap<usize, Vec<Point>>,
+        venues: &mut BTreeMap<usize, Vec<Point>>,
         place: usize,
     ) -> Point {
         let p = &self.places[place];
