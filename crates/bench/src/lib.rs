@@ -27,6 +27,11 @@
 use tweetmob_data::TweetDataset;
 use tweetmob_synth::{GeneratorConfig, TweetGenerator};
 
+/// The rolling bench-metrics document the regeneration binaries append
+/// to: one top-level key per binary, each holding that run's pipeline
+/// metrics (spans, counters, histograms) from the global registry.
+pub const BENCH_METRICS_PATH: &str = "BENCH_pipeline.json";
+
 /// Builds the standard experiment dataset, honouring the
 /// `TWEETMOB_USERS` / `TWEETMOB_SEED` environment knobs.
 pub fn standard_dataset() -> (GeneratorConfig, TweetDataset) {
@@ -43,6 +48,58 @@ pub fn standard_dataset() -> (GeneratorConfig, TweetDataset) {
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Merges this process's global metrics registry into
+/// [`BENCH_METRICS_PATH`] under `bin_name`, creating the file when
+/// absent. `extra` (skipped when `null`) lands next to the metrics as
+/// `notes` — e.g. the overhead measurement below. A malformed existing
+/// document is replaced rather than treated as an error, so a broken
+/// bench run can never wedge all future ones.
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn emit_bench_metrics(bin_name: &str, extra: serde_json::Value) -> std::io::Result<()> {
+    let mut doc: serde_json::Value = std::fs::read_to_string(BENCH_METRICS_PATH)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .filter(serde_json::Value::is_object)
+        .unwrap_or_else(|| serde_json::json!({}));
+    let metrics: serde_json::Value =
+        serde_json::from_str(&tweetmob_obs::global().to_json()).unwrap_or(serde_json::Value::Null);
+    let mut entry = serde_json::json!({ "metrics": metrics });
+    if !extra.is_null() {
+        entry["notes"] = extra;
+    }
+    doc[bin_name] = entry;
+    let mut text = serde_json::to_string_pretty(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    text.push('\n');
+    std::fs::write(BENCH_METRICS_PATH, text)
+}
+
+/// Times `workload` once with the global registry enabled and once
+/// disabled (the no-op baseline), returning `(enabled_ns, disabled_ns)`.
+/// A warm-up pass runs first so caches don't bias the enabled pass. The
+/// stopwatch is a private always-on registry — the global one can't time
+/// its own disabled pass.
+pub fn measure_instrumentation_overhead<F: FnMut()>(mut workload: F) -> (u64, u64) {
+    let stopwatch = tweetmob_obs::MetricsRegistry::new();
+    let global = tweetmob_obs::global();
+    workload();
+    {
+        let _timer = stopwatch.span("enabled");
+        workload();
+    }
+    global.set_enabled(false);
+    {
+        let _timer = stopwatch.span("disabled");
+        workload();
+    }
+    global.set_enabled(true);
+    let ns = |name: &str| stopwatch.span_stat(name).map_or(0, |s| s.total_ns);
+    (ns("enabled"), ns("disabled"))
 }
 
 /// Prints the standard run header (dataset provenance) every regeneration
@@ -75,5 +132,22 @@ mod tests {
         assert_eq!(ds.n_users(), 300);
         std::env::remove_var("TWEETMOB_USERS");
         std::env::remove_var("TWEETMOB_SEED");
+    }
+
+    #[test]
+    fn overhead_measurement_times_both_passes() {
+        let (on, off) = measure_instrumentation_overhead(|| {
+            tweetmob_obs::counter!("bench-test/work").add(1);
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert!(on > 0, "enabled pass was timed");
+        assert!(off > 0, "disabled pass was timed");
+        // Three workload calls ran (warm-up, enabled, disabled) but the
+        // disabled pass must not have recorded into the global registry.
+        assert_eq!(
+            tweetmob_obs::global().counter_value("bench-test/work"),
+            Some(2)
+        );
+        assert!(tweetmob_obs::global().is_enabled(), "re-enabled afterwards");
     }
 }

@@ -27,7 +27,33 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// The `--metrics-out <path>` flag every subcommand accepts: where to
+/// write the pipeline metrics JSON after the run.
+pub const METRICS_OUT: &str = "metrics-out";
+/// The `--trace` switch every subcommand accepts: print the span trace
+/// tree to stderr after the run.
+pub const TRACE: &str = "trace";
+
 impl Args {
+    /// Parses raw arguments with the observability flags
+    /// ([`METRICS_OUT`], [`TRACE`]) appended to the accepted lists —
+    /// every subcommand takes them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::parse`].
+    pub fn parse_with_observability(
+        raw: impl IntoIterator<Item = String>,
+        valued: &[&str],
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut valued: Vec<&str> = valued.to_vec();
+        valued.push(METRICS_OUT);
+        let mut switches: Vec<&str> = switches.to_vec();
+        switches.push(TRACE);
+        Self::parse(raw, &valued, &switches)
+    }
+
     /// Parses raw arguments. `valued` lists flags that take a value;
     /// `switches` lists boolean flags. Anything else starting with `--`
     /// is rejected.
@@ -157,5 +183,17 @@ mod tests {
     fn defaults_apply_when_absent() {
         let a = parse(&[], &["users"], &[]).unwrap();
         assert_eq!(a.get_parsed("users", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn observability_flags_accepted_on_any_command() {
+        let raw = ["out.jsonl", "--metrics-out", "m.json", "--trace"];
+        let a = Args::parse_with_observability(raw.iter().map(|s| s.to_string()), &["users"], &[])
+            .unwrap();
+        assert_eq!(a.get(METRICS_OUT), Some("m.json"));
+        assert!(a.has(TRACE));
+        assert_eq!(a.positional(0), Some("out.jsonl"));
+        // Plain parse without the helper still rejects them.
+        assert!(parse(&["--trace"], &["users"], &[]).is_err());
     }
 }

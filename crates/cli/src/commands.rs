@@ -53,21 +53,53 @@ pub fn export(args: &Args) -> Result<()> {
 }
 
 /// Loads a dataset by extension: `.csv` → CSV, `.twb` → binary,
-/// anything else → JSONL.
+/// anything else → JSONL. Every failure names the path and how far the
+/// read got, and bumps the `data/load_errors` counter.
 fn load(path: &str) -> Result<TweetDataset> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let _span = tweetmob_obs::span!("load");
+    match read_dataset(path) {
+        Ok(ds) if ds.is_empty() => {
+            tweetmob_obs::counter!("data/load_errors").add(1);
+            Err(format!("{path}: loaded 0 tweet records").into())
+        }
+        Ok(ds) => Ok(ds),
+        Err(e) => {
+            tweetmob_obs::counter!("data/load_errors").add(1);
+            // The reader errors carry the failing line/record number;
+            // prepend the path so the user knows which file died.
+            Err(format!("cannot load {path}: {e}").into())
+        }
+    }
+}
+
+/// The raw extension-dispatched read behind [`load`].
+fn read_dataset(path: &str) -> Result<TweetDataset> {
+    let file = File::open(path).map_err(|e| format!("cannot open: {e}"))?;
     let reader = BufReader::new(file);
-    let ds = if path.ends_with(".csv") {
+    Ok(if path.ends_with(".csv") {
         dataio::read_csv(reader)?
     } else if path.ends_with(".twb") {
         tweetmob_data::binary::read_binary(reader)?
     } else {
         dataio::read_jsonl(reader)?
-    };
-    if ds.is_empty() {
-        return Err(format!("{path} contains no tweets").into());
+    })
+}
+
+/// Writes the metrics JSON (`--metrics-out`) and prints the span trace
+/// (`--trace`) after a command — including after one that failed, so a
+/// partial run's counters and spans are still inspectable.
+pub fn emit_observability(args: &Args) -> Result<()> {
+    let registry = tweetmob_obs::global();
+    if let Some(path) = args.get(crate::args::METRICS_OUT) {
+        let mut json = registry.to_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        eprintln!("wrote pipeline metrics to {path}");
     }
-    Ok(ds)
+    if args.has(crate::args::TRACE) {
+        eprint!("{}", registry.render_trace());
+    }
+    Ok(())
 }
 
 fn dataset_arg(args: &Args) -> Result<TweetDataset> {

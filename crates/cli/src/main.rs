@@ -6,6 +6,7 @@
 //! tweetmob summary out.jsonl
 //! tweetmob population out.jsonl --scale national
 //! tweetmob mobility out.jsonl --scale state --extended
+//! tweetmob mobility out.jsonl --scale national --metrics-out metrics.json --trace
 //! tweetmob epidemic out.jsonl --beta 0.5 --gamma 0.2 --seed-city Sydney
 //! ```
 //!
@@ -49,6 +50,11 @@ COMMANDS:
         --immune F               initial immune fraction       [default 0]
     export <dataset> <out.json>  machine-readable results of all experiments
     help                         this text
+
+GLOBAL FLAGS (accepted by every command):
+    --metrics-out PATH       write pipeline metrics (spans, counters,
+                             histograms) as JSON after the run
+    --trace                  print the span trace tree to stderr
 ";
 
 fn main() {
@@ -65,42 +71,42 @@ fn main() {
     std::process::exit(code);
 }
 
+/// A subcommand implementation in `commands`.
+type CommandFn = fn(&Args) -> Result<(), Box<dyn std::error::Error>>;
+
 fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let command = raw.first().cloned().unwrap_or_else(|| "help".into());
     let rest = raw.into_iter().skip(1);
-    match command.as_str() {
-        "generate" => {
-            let args = Args::parse(rest, &["users", "seed"], &[])?;
-            commands::generate(&args)
-        }
-        "summary" => {
-            let args = Args::parse(rest, &[], &[])?;
-            commands::summary(&args)
-        }
-        "population" => {
-            let args = Args::parse(rest, &["scale", "radius"], &[])?;
-            commands::population(&args)
-        }
-        "mobility" => {
-            let args = Args::parse(rest, &["scale"], &["census", "extended"])?;
-            commands::mobility(&args)
-        }
-        "epidemic" => {
-            let args = Args::parse(
-                rest,
-                &["beta", "gamma", "sigma", "seed-city", "days", "restrict", "immune"],
-                &[],
-            )?;
-            commands::epidemic(&args)
-        }
-        "export" => {
-            let args = Args::parse(rest, &[], &[])?;
-            commands::export(&args)
-        }
+    let (handler, valued, switches): (CommandFn, &[&str], &[&str]) = match command.as_str() {
+        "generate" => (commands::generate, &["users", "seed"], &[]),
+        "summary" => (commands::summary, &[], &[]),
+        "population" => (commands::population, &["scale", "radius"], &[]),
+        "mobility" => (commands::mobility, &["scale"], &["census", "extended"]),
+        "epidemic" => (
+            commands::epidemic,
+            &[
+                "beta",
+                "gamma",
+                "sigma",
+                "seed-city",
+                "days",
+                "restrict",
+                "immune",
+            ],
+            &[],
+        ),
+        "export" => (commands::export, &[], &[]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(())
+            return Ok(());
         }
-        other => Err(format!("unknown command {other:?}").into()),
-    }
+        other => return Err(format!("unknown command {other:?}").into()),
+    };
+    // Every subcommand also accepts --metrics-out <path> and --trace.
+    let args = Args::parse_with_observability(rest, valued, switches)?;
+    let result = handler(&args);
+    // Metrics are emitted even after a failed command — a partial run's
+    // counters and spans are exactly what is needed to debug it.
+    let emitted = commands::emit_observability(&args);
+    result.and(emitted)
 }

@@ -151,6 +151,146 @@ fn export_writes_machine_readable_results() {
 }
 
 #[test]
+fn metrics_out_writes_stage_spans_and_counters() {
+    let data = tmp("metrics.jsonl");
+    let metrics = tmp("metrics-out.json");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "1200",
+        "--seed",
+        "3"
+    ])
+    .status
+    .success());
+    let out = run(&[
+        "mobility",
+        data.to_str().unwrap(),
+        "--scale",
+        "national",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("wrote pipeline metrics"), "{err}");
+    assert!(
+        err.contains("load"),
+        "trace should list the load span: {err}"
+    );
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    for span in [
+        "load",
+        "load/read_jsonl",
+        "trips",
+        "population",
+        "odmatrix",
+        "fit/gravity4",
+        "fit/gravity2",
+        "fit/radiation",
+        "fit/opportunities",
+        "evaluate",
+    ] {
+        assert!(
+            doc["timing"]["spans"].get(span).is_some(),
+            "missing span {span}"
+        );
+    }
+    assert!(doc["counters"]["data/tweets_read"].as_u64().unwrap() > 0);
+    assert!(doc["counters"]["trips/extracted"].as_u64().unwrap() > 0);
+    assert!(doc["gauges"]["odmatrix/nonzero_pairs"].as_i64().unwrap() > 0);
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+/// Zeroes every `*_ns` field (span durations and latency histograms) so
+/// two runs can be compared on everything else.
+fn redact_durations(v: &mut serde_json::Value) {
+    match v {
+        serde_json::Value::Object(map) => {
+            for (k, val) in map.iter_mut() {
+                if k.ends_with("_ns") {
+                    *val = serde_json::json!(0);
+                } else {
+                    redact_durations(val);
+                }
+            }
+        }
+        serde_json::Value::Array(a) => a.iter_mut().for_each(redact_durations),
+        _ => {}
+    }
+}
+
+#[test]
+fn metrics_identical_across_same_seed_runs_modulo_durations() {
+    let data = tmp("det.jsonl");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "900",
+        "--seed",
+        "21"
+    ])
+    .status
+    .success());
+    let mut docs = Vec::new();
+    for name in ["det-a.json", "det-b.json"] {
+        let metrics = tmp(name);
+        let out = run(&[
+            "mobility",
+            data.to_str().unwrap(),
+            "--scale",
+            "national",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let mut doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        redact_durations(&mut doc);
+        docs.push(doc);
+        std::fs::remove_file(&metrics).ok();
+    }
+    assert_eq!(
+        docs[0], docs[1],
+        "same-seed runs must agree on everything but durations"
+    );
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn failed_command_still_emits_metrics() {
+    let bad = tmp("bad.jsonl");
+    std::fs::write(&bad, "not json\n").unwrap();
+    let metrics = tmp("bad-metrics.json");
+    let out = run(&[
+        "summary",
+        bad.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains(bad.to_str().unwrap()),
+        "error names the path: {err}"
+    );
+    assert!(
+        err.contains("line 1"),
+        "error names the failing record: {err}"
+    );
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc["counters"]["data/load_errors"], 1);
+    std::fs::remove_file(&bad).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn missing_file_reports_cleanly() {
     let out = run(&["summary", "/nonexistent/nowhere.jsonl"]);
     assert!(!out.status.success());

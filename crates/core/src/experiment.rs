@@ -232,7 +232,14 @@ impl<'a> Experiment<'a> {
                     .collect()
             }
         };
-        let observations = build_observations(areas, &populations, &od);
+        let observations = {
+            let _span = tweetmob_obs::span!("odmatrix");
+            tweetmob_obs::gauge!("odmatrix/cells")
+                .set(i64::try_from(areas.len() * areas.len()).unwrap_or(i64::MAX));
+            tweetmob_obs::gauge!("odmatrix/nonzero_pairs")
+                .set(i64::try_from(od.nonzero_pairs()).unwrap_or(i64::MAX));
+            build_observations(areas, &populations, &od)
+        };
         let gravity4 = Gravity4Fit::fit(&observations)?;
         let gravity2 = Gravity2Fit::fit(&observations)?;
         let radiation = RadiationFit::fit(&observations)?;

@@ -93,6 +93,7 @@ pub fn estimate_population(
     index: &GridIndex,
     areas: &AreaSet,
 ) -> Result<PopulationCorrelation, StatsError> {
+    let _span = tweetmob_obs::span!("population");
     let users = dataset.users();
     let mut twitter: Vec<u64> = Vec::with_capacity(areas.len());
     for a in areas.areas() {

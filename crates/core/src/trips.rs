@@ -18,6 +18,7 @@ use tweetmob_data::TweetDataset;
 /// per user block; the result is identical to the serial order because
 /// each trip increments an independent cell count.
 pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
+    let _span = tweetmob_obs::span!("trips");
     let users: Vec<_> = dataset.iter_users().collect();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -25,48 +26,86 @@ pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
         .min(users.len().max(1));
     if threads <= 1 || users.len() < 64 {
         let mut od = OdMatrix::new(areas.len());
+        let mut drops = DropCounts::default();
         for view in &users {
-            extract_user(view.points, areas, &mut od);
+            drops.merge(extract_user(view.points, areas, &mut od));
         }
+        publish_counts(&od, drops);
         return od;
     }
     let chunk = users.len().div_ceil(threads);
     let mut merged = OdMatrix::new(areas.len());
+    let mut drops = DropCounts::default();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = users
             .chunks(chunk)
             .map(|block| {
                 scope.spawn(move |_| {
                     let mut od = OdMatrix::new(areas.len());
+                    let mut drops = DropCounts::default();
                     for view in block {
-                        extract_user(view.points, areas, &mut od);
+                        drops.merge(extract_user(view.points, areas, &mut od));
                     }
-                    od
+                    (od, drops)
                 })
             })
             .collect();
         for h in handles {
             // lint: allow(no-panic) — join only fails if the worker already panicked
-            merged.merge(&h.join().expect("trip extraction worker panicked"));
+            let (od, block_drops) = h.join().expect("trip extraction worker panicked");
+            merged.merge(&od);
+            drops.merge(block_drops);
         }
     })
     // lint: allow(no-panic) — scope only errs if a child thread panicked
     .expect("trip extraction scope failed");
+    publish_counts(&merged, drops);
     merged
 }
 
-/// Extracts one user's trips into `od`.
-fn extract_user(points: &[tweetmob_geo::Point], areas: &AreaSet, od: &mut OdMatrix) {
+/// Tallies of consecutive same-user pairs that contribute no trip.
+/// Accumulated per chunk and merged on the outer thread, so the published
+/// counter totals are deterministic regardless of thread count.
+#[derive(Debug, Default, Clone, Copy)]
+struct DropCounts {
+    /// Both endpoints resolved to the same area.
+    same_area: u64,
+    /// At least one endpoint resolved to no study area.
+    unassigned: u64,
+}
+
+impl DropCounts {
+    fn merge(&mut self, other: DropCounts) {
+        self.same_area += other.same_area;
+        self.unassigned += other.unassigned;
+    }
+}
+
+/// Publishes extraction totals to the global metrics registry.
+fn publish_counts(od: &OdMatrix, drops: DropCounts) {
+    tweetmob_obs::counter!("trips/extracted").add(od.total());
+    tweetmob_obs::counter!("trips/dropped_same_area").add(drops.same_area);
+    tweetmob_obs::counter!("trips/dropped_unassigned").add(drops.unassigned);
+}
+
+/// Extracts one user's trips into `od`, returning the pairs dropped.
+fn extract_user(points: &[tweetmob_geo::Point], areas: &AreaSet, od: &mut OdMatrix) -> DropCounts {
+    let mut drops = DropCounts::default();
     let mut prev: Option<usize> = None;
+    let mut seen_any = false;
     for &p in points {
         let cur = areas.assign(p);
-        if let (Some(a), Some(b)) = (prev, cur) {
-            if a != b {
-                od.record(a, b);
+        if seen_any {
+            match (prev, cur) {
+                (Some(a), Some(b)) if a != b => od.record(a, b),
+                (Some(_), Some(_)) => drops.same_area += 1,
+                _ => drops.unassigned += 1,
             }
         }
         prev = cur;
+        seen_any = true;
     }
+    drops
 }
 
 #[cfg(test)]
@@ -196,9 +235,27 @@ mod tests {
         let parallel = extract_trips(&ds, &areas);
         let mut serial = OdMatrix::new(areas.len());
         for view in ds.iter_users() {
-            super::extract_user(view.points, &areas, &mut serial);
+            let _ = super::extract_user(view.points, &areas, &mut serial);
         }
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn drop_counts_classify_non_trips() {
+        let areas = national();
+        let mut od = OdMatrix::new(areas.len());
+        // Sydney → Sydney (same area) → outback (unassigned) → Melbourne.
+        let ds = TweetDataset::from_tweets(vec![
+            tweet(1, 100, SYD.0, SYD.1),
+            tweet(1, 200, SYD.0 + 0.05, SYD.1 + 0.05),
+            tweet(1, 300, -25.0, 135.0),
+            tweet(1, 400, MEL.0, MEL.1),
+        ]);
+        let view = ds.iter_users().next().unwrap();
+        let drops = super::extract_user(view.points, &areas, &mut od);
+        assert_eq!(drops.same_area, 1);
+        assert_eq!(drops.unassigned, 2, "both pairs touching the outback tweet");
+        assert_eq!(od.total(), 0);
     }
 
     #[test]

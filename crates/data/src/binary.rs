@@ -70,6 +70,7 @@ pub fn write_binary<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError
 ///   [`IoError::Csv`]-style structural errors with a message.
 /// * [`IoError::BadCoordinate`] — a record with out-of-range lat/lon.
 pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
+    let _span = tweetmob_obs::span!("read_binary");
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
     let mut cursor = &header[..];
@@ -112,6 +113,7 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
         })?;
         tweets.push(Tweet::new(UserId(user), Timestamp::from_secs(secs), location));
     }
+    tweetmob_obs::counter!("data/tweets_read").add(tweets.len() as u64);
     Ok(TweetDataset::from_tweets(tweets))
 }
 

@@ -95,6 +95,7 @@ pub fn write_jsonl<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError>
 ///
 /// First malformed line aborts the read with its line number.
 pub fn read_jsonl<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
+    let _span = tweetmob_obs::span!("read_jsonl");
     let mut tweets = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
@@ -112,6 +113,7 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
         })?;
         tweets.push(t);
     }
+    tweetmob_obs::counter!("data/tweets_read").add(tweets.len() as u64);
     Ok(TweetDataset::from_tweets(tweets))
 }
 
@@ -146,6 +148,7 @@ pub fn write_csv<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError> {
 /// Bad header, wrong field count, unparseable numbers, or invalid
 /// coordinates — each with a line number.
 pub fn read_csv<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
+    let _span = tweetmob_obs::span!("read_csv");
     let mut lines = r.lines().enumerate();
     match lines.next() {
         Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
@@ -187,6 +190,7 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
             .map_err(|source| IoError::BadCoordinate { line: lineno, source })?;
         tweets.push(Tweet::new(UserId(user), Timestamp::from_secs(secs), location));
     }
+    tweetmob_obs::counter!("data/tweets_read").add(tweets.len() as u64);
     Ok(TweetDataset::from_tweets(tweets))
 }
 

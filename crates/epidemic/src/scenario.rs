@@ -161,6 +161,7 @@ impl OutbreakScenario {
     ///
     /// [`ScenarioError`] for invalid rates, timestep or seed patches.
     pub fn run_deterministic(&self, days: f64, dt: f64) -> Result<EpidemicTimeline, ScenarioError> {
+        let _span = tweetmob_obs::span!("epidemic/run_deterministic");
         self.validate(days, dt)?;
         let rates = DetRates {
             beta: self.beta,
@@ -208,6 +209,7 @@ impl OutbreakScenario {
         dt: f64,
         rng_seed: u64,
     ) -> Result<EpidemicTimeline, ScenarioError> {
+        let _span = tweetmob_obs::span!("epidemic/run_stochastic");
         self.validate(days, dt)?;
         let rates = StochRates {
             beta: self.beta,

@@ -832,6 +832,24 @@ fn check_determinism(
             });
         }
     }
+    // `Instant::now` is scoped, not banned outright: `tweetmob-obs` exists
+    // to own the monotonic clock (span timers whose durations never feed a
+    // result-bearing field). Everywhere else must route timing through it.
+    if crate_name != "tweetmob-obs" {
+        for off in find_token(code, "Instant::now") {
+            if in_test(off) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::Determinism,
+                message: "`Instant::now` outside `tweetmob-obs`: wrap the stage in \
+                          `tweetmob_obs::span!` so timing stays out of results"
+                    .to_string(),
+            });
+        }
+    }
     if kind.is_library() && RESULT_CRATES.contains(&crate_name) {
         for tok in ["HashMap", "HashSet"] {
             for off in find_token(code, tok) {
@@ -1206,6 +1224,31 @@ mod tests {
         assert!(d.is_empty(), "{d:?}");
         let e = lint_source("bin/x.rs", "tweetmob-core", FileKind::Binary, src);
         assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn determinism_scopes_instant_to_the_obs_crate() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    let _ = t;\n}\n";
+        // Allowed only inside tweetmob-obs — the crate that owns the clock.
+        let ok = lint_source("span.rs", "tweetmob-obs", FileKind::Library, src);
+        assert!(ok.is_empty(), "{ok:?}");
+        // Forbidden in every other crate's library code...
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, src);
+        assert_eq!(rules(&d), vec![Rule::Determinism]);
+        assert_eq!(d[0].line, 2);
+        assert!(
+            d[0].message.contains("tweetmob_obs::span!"),
+            "{}",
+            d[0].message
+        );
+        // ...and in binaries (benches must time through the registry too).
+        let bad_bin = "fn main() { let _ = std::time::Instant::now(); }\n";
+        let b = lint_source("bin/x.rs", "tweetmob-bench", FileKind::Binary, bad_bin);
+        assert_eq!(rules(&b), vec![Rule::Determinism]);
+        // Test code may use Instant freely, as with the other clock rules.
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                       let _ = std::time::Instant::now();\n    }\n}\n";
+        assert!(lint_source("m.rs", "tweetmob-core", FileKind::Library, in_test).is_empty());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub fn evaluate<M: MobilityModel>(
     model: &M,
     observations: &[FlowObservation],
 ) -> Result<ModelEvaluation, ModelError> {
+    let _span = tweetmob_obs::span!("evaluate");
     let mut est = Vec::with_capacity(observations.len());
     let mut obs = Vec::with_capacity(observations.len());
     for o in observations {

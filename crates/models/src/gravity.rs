@@ -60,6 +60,7 @@ impl Gravity4Fit {
     /// observations; [`ModelError::DegenerateFit`] on collinear inputs
     /// (e.g. every observation sharing one origin population).
     pub fn fit(observations: &[FlowObservation]) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/gravity4");
         let mut ols = Ols::new(3);
         for o in observations.iter().filter(|o| o.fittable()) {
             ols.add(
@@ -103,6 +104,7 @@ impl Gravity2Fit {
     ///
     /// As [`Gravity4Fit::fit`], with a 2-observation minimum.
     pub fn fit(observations: &[FlowObservation]) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/gravity2");
         let mut ols = Ols::new(1);
         for o in observations.iter().filter(|o| o.fittable()) {
             let lhs = o.observed_flow.log10()

@@ -160,6 +160,7 @@ impl RadiationFit {
     ///
     /// [`ModelError::TooFewObservations`] when no observation is usable.
     pub fn fit(observations: &[FlowObservation]) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/radiation");
         let mut acc = 0.0;
         let mut n_used = 0usize;
         for o in observations.iter().filter(|o| o.fittable()) {

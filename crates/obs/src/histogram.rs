@@ -1,0 +1,146 @@
+//! Fixed-bucket histograms over `u64` samples.
+//!
+//! Buckets are cumulative-exclusive ("less than or equal"): a sample `v`
+//! lands in the first bucket whose upper bound satisfies `v <= bound`;
+//! samples above the last bound land in the overflow bucket. Bounds are
+//! frozen at registration, so two runs of the same pipeline produce the
+//! same bucket layout byte for byte.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared state behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    /// Ascending upper bounds; bucket `i` counts samples `<= bounds[i]`.
+    pub(crate) bounds: Vec<u64>,
+    /// One cell per bound plus a trailing overflow cell.
+    pub(crate) buckets: Vec<AtomicU64>,
+    /// Total samples recorded.
+    pub(crate) count: AtomicU64,
+    /// Sum of all recorded samples (saturating).
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramInner {
+    pub(crate) fn new(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cloneable handle onto one registered fixed-bucket histogram.
+///
+/// Cheap to clone (two `Arc`s); recording is a couple of relaxed atomic
+/// adds and never locks, so handles may be cached in hot loops.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) inner: Arc<HistogramInner>,
+    pub(crate) enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    /// Records one sample. A no-op while the owning registry is disabled.
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self.inner.bounds.partition_point(|&b| b < value);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records every sample of a slice.
+    pub fn record_all(&self, values: &[u64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Total samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// The frozen bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts: one entry per bound, then the overflow count.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The overflow-bucket count (samples above the last bound).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.inner
+            .buckets
+            .last()
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[u64]) -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner::new(bounds)),
+            enabled: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    #[test]
+    fn samples_land_in_le_buckets() {
+        let h = hist(&[1, 5, 10]);
+        for v in [0, 1, 2, 5, 6, 10, 11, 1000] {
+            h.record(v);
+        }
+        // <=1: {0,1}; <=5: {2,5}; <=10: {6,10}; overflow: {11,1000}.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1035);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn bounds_are_sorted_and_deduped() {
+        let h = hist(&[10, 1, 10, 5]);
+        assert_eq!(h.bounds(), &[1, 5, 10]);
+        assert_eq!(h.bucket_counts().len(), 4);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let h = hist(&[1]);
+        h.enabled.store(false, Ordering::Relaxed);
+        h.record(7);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! # tweetmob-obs
+//!
+//! Structured observability for the `tweetmob` pipeline: span timers
+//! with nested scopes, atomic counters and gauges, fixed-bucket
+//! histograms, and a [`MetricsRegistry`] that serializes everything to a
+//! stable, deterministic JSON document.
+//!
+//! The design constraints, in order:
+//!
+//! 1. **Determinism of results is untouchable.** Timing never feeds a
+//!    result-bearing field; the JSON document is `BTreeMap`-ordered and
+//!    carries no wall-clock timestamp, so two runs of the same seeded
+//!    pipeline differ only in duration fields (`*_ns` and the
+//!    `timing/latency_ns` subtree). [`MetricsRegistry::to_json_redacted`]
+//!    zeroes those for byte-identical comparison.
+//! 2. **Near-zero cost.** Counter/gauge/histogram handles are a couple of
+//!    relaxed atomics per record; span open/close locks a `Mutex` but
+//!    spans wrap pipeline *stages* (load, trip extraction, each model
+//!    fit), not inner loops. A disabled registry reduces every operation
+//!    to one relaxed load, which is the no-op baseline the benches use to
+//!    demonstrate overhead.
+//! 3. **No dependencies.** Every pipeline crate links this, so it is
+//!    `std`-only; JSON is emitted by hand.
+//!
+//! Pipeline crates record into the process-wide [`global`] registry via
+//! the [`span!`] / [`counter!`] macros:
+//!
+//! ```
+//! let _guard = tweetmob_obs::span!("fit/gravity4");
+//! tweetmob_obs::counter!("trips/extracted").add(42);
+//! // ... stage work ...
+//! drop(_guard);
+//! let json = tweetmob_obs::global().to_json();
+//! assert!(json.contains("fit/gravity4"));
+//! ```
+//!
+//! Tests and benches that need isolation construct their own
+//! [`MetricsRegistry`] instead.
+//!
+//! This crate is the one place in the workspace permitted to call
+//! `std::time::Instant::now` — `tweetmob-lint`'s determinism rule
+//! enforces that everything else routes timing through this API.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::Histogram;
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use span::{SpanGuard, SpanStat, LATENCY_BOUNDS_NS};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every pipeline crate records into. Created
+/// enabled on first touch.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Opens a span on the [`global`] registry. Bind the guard to a named
+/// variable (`let _guard = span!("load");`) — binding to `_` drops it
+/// immediately and records nothing.
+#[macro_export]
+macro_rules! span {
+    ($path:expr) => {
+        $crate::global().span($path)
+    };
+}
+
+/// The counter registered under a name on the [`global`] registry.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::global().counter($name)
+    };
+}
+
+/// The gauge registered under a name on the [`global`] registry.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {
+        $crate::global().gauge($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_shared_and_enabled() {
+        assert!(super::global().is_enabled());
+        let c = crate::counter!("lib-test/shared");
+        c.add(2);
+        assert_eq!(super::global().counter_value("lib-test/shared"), Some(2));
+    }
+
+    #[test]
+    fn macros_compose_with_nesting() {
+        {
+            let _outer = crate::span!("lib-test/outer");
+            let _inner = crate::span!("inner");
+        }
+        let paths = super::global().span_paths();
+        assert!(paths.iter().any(|p| p == "lib-test/outer/inner"));
+    }
+}

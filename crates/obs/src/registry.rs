@@ -1,0 +1,529 @@
+//! The metrics registry: named counters, gauges, histograms and span
+//! timings, serializable to a stable JSON document.
+
+use crate::histogram::{Histogram, HistogramInner};
+use crate::span::{SpanGuard, SpanStat, SpanStore, LATENCY_BOUNDS_NS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// A cloneable handle onto one registered monotonic counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Adds `n`. A no-op while the owning registry is disabled.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable handle onto one registered gauge (a settable `i64`).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Sets the gauge. A no-op while the owning registry is disabled.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Handles ([`Counter`], [`Gauge`], [`Histogram`]) are created on first
+/// use of a name and shared thereafter; recording through a handle is a
+/// few relaxed atomics and never locks. Span timing locks a `Mutex` per
+/// span open/close — spans mark pipeline *stages*, not inner loops.
+///
+/// Serialization ([`MetricsRegistry::to_json`]) is deterministic: keys
+/// are `BTreeMap`-ordered and no wall-clock timestamp appears anywhere.
+/// The only run-to-run variation is duration data — fields suffixed
+/// `_ns` and the `timing/latency_ns` subtree — which
+/// [`MetricsRegistry::to_json_redacted`] zeroes for byte-comparison.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+    spans: Mutex<SpanStore>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding one of these locks cannot leave the maps in a
+    // torn state (every mutation is a single insert or field update), so
+    // recover the data instead of poisoning the whole pipeline's metrics.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        let registry = Self::default();
+        registry.enabled.store(true, Ordering::Relaxed);
+        registry
+    }
+
+    /// A fresh registry that records nothing until enabled — the no-op
+    /// baseline for overhead measurements.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on or off. Existing handles observe the switch.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the registry is recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Counter {
+            cell,
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+        );
+        Gauge {
+            cell,
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// The histogram registered under `name`. Bucket bounds freeze on
+    /// first registration; later calls with different bounds get the
+    /// original histogram (bounds are part of the metric's identity and
+    /// must not drift mid-run).
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let inner = Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistogramInner::new(bounds))),
+        );
+        Histogram {
+            inner,
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// Opens a span named `name`, nested under any span already live on
+    /// this thread. While the registry is disabled this is a no-op guard
+    /// that never reads the clock.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        let path = crate::span::push_scope(name);
+        lock(&self.spans).note_start(&path);
+        SpanGuard {
+            active: Some((self, path, Instant::now())),
+        }
+    }
+
+    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64) {
+        lock(&self.spans).record(path, elapsed_ns);
+    }
+
+    /// Current value of a counter, or `None` if never registered.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        lock(&self.counters)
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a gauge, or `None` if never registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        lock(&self.gauges)
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
+    }
+
+    /// Aggregated timing of a span path, if it ever completed.
+    #[must_use]
+    pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
+        lock(&self.spans).stats.get(path).copied()
+    }
+
+    /// Every span path seen, in first-start order.
+    #[must_use]
+    pub fn span_paths(&self) -> Vec<String> {
+        lock(&self.spans).order.clone()
+    }
+
+    /// Zeroes every counter and histogram, clears gauges and spans.
+    /// Handles already handed out stay valid (they share the cells).
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.gauges).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for hist in lock(&self.histograms).values() {
+            for bucket in &hist.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            hist.count.store(0, Ordering::Relaxed);
+            hist.sum.store(0, Ordering::Relaxed);
+        }
+        *lock(&self.spans) = SpanStore::default();
+    }
+
+    /// Serializes the registry to its stable JSON document. Two runs of
+    /// the same deterministic pipeline differ only in duration data:
+    /// fields suffixed `_ns` and the `timing/latency_ns` subtree.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// [`MetricsRegistry::to_json`] with every duration field zeroed —
+    /// two identical runs serialize byte-identically under this mode,
+    /// which is what the determinism tests and the CI smoke compare.
+    #[must_use]
+    pub fn to_json_redacted(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, redact: bool) -> String {
+        let mut out = String::from("{\n");
+        // counters
+        out.push_str("  \"counters\": {");
+        let counters = lock(&self.counters);
+        write_entries(&mut out, counters.iter(), 4, |out, cell| {
+            let _ = write!(out, "{}", cell.load(Ordering::Relaxed));
+        });
+        drop(counters);
+        out.push_str("},\n");
+        // gauges
+        out.push_str("  \"gauges\": {");
+        let gauges = lock(&self.gauges);
+        write_entries(&mut out, gauges.iter(), 4, |out, cell| {
+            let _ = write!(out, "{}", cell.load(Ordering::Relaxed));
+        });
+        drop(gauges);
+        out.push_str("},\n");
+        // histograms
+        out.push_str("  \"histograms\": {");
+        let histograms = lock(&self.histograms);
+        write_entries(&mut out, histograms.iter(), 4, |out, hist| {
+            let counts: Vec<u64> = hist
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let (overflow, bucket_counts) = counts
+                .split_last()
+                .map_or((0, &counts[..]), |(o, rest)| (*o, rest));
+            let _ = write!(
+                out,
+                "{{\"bounds\": {}, \"buckets\": {}, \"overflow\": {}, \"count\": {}, \"sum\": {}}}",
+                json_u64_array(&hist.bounds),
+                json_u64_array(bucket_counts),
+                overflow,
+                hist.count.load(Ordering::Relaxed),
+                hist.sum.load(Ordering::Relaxed),
+            );
+        });
+        drop(histograms);
+        out.push_str("},\n");
+        // timing (spans + latency histograms) — the duration-bearing part.
+        out.push_str("  \"timing\": {\n    \"latency_bounds_ns\": ");
+        out.push_str(&json_u64_array(&LATENCY_BOUNDS_NS));
+        out.push_str(",\n    \"latency_ns\": {");
+        let spans = lock(&self.spans);
+        write_entries(&mut out, spans.latency.iter(), 6, |out, buckets| {
+            let zeroed = [0u64; LATENCY_BOUNDS_NS.len() + 1];
+            let shown: &[u64] = if redact { &zeroed } else { &buckets[..] };
+            out.push_str(&json_u64_array(shown));
+        });
+        out.push_str("},\n    \"spans\": {");
+        write_entries(&mut out, spans.stats.iter(), 6, |out, stat| {
+            let (total, min, max) = if redact {
+                (0, 0, 0)
+            } else {
+                (stat.total_ns, stat.min_ns, stat.max_ns)
+            };
+            let _ = write!(
+                out,
+                "{{\"calls\": {}, \"max_ns\": {max}, \"min_ns\": {min}, \"total_ns\": {total}}}",
+                stat.calls,
+            );
+        });
+        drop(spans);
+        out.push_str("}\n  }\n}\n");
+        out
+    }
+
+    /// Renders the span tree as human-readable text, one line per path
+    /// in first-start order, indented by nesting depth — the `--trace`
+    /// output.
+    #[must_use]
+    pub fn render_trace(&self) -> String {
+        let spans = lock(&self.spans);
+        if spans.order.is_empty() {
+            return String::from("(no spans recorded)\n");
+        }
+        let mut out = String::new();
+        for path in &spans.order {
+            let Some(stat) = spans.stats.get(path) else {
+                continue;
+            };
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let _ = write!(out, "{:indent$}{name}", "", indent = depth * 2);
+            let pad = 40usize.saturating_sub(depth * 2 + name.len());
+            let _ = writeln!(
+                out,
+                "{:pad$} {:>10}  x{}",
+                "",
+                format_ns(stat.total_ns),
+                stat.calls,
+            );
+        }
+        out
+    }
+}
+
+/// Writes `"key": <value>` entries (already-sorted iterator) with the
+/// given indent, comma-separated, closing back at `indent - 2`.
+fn write_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'a String, V)>,
+    indent: usize,
+    mut write_value: impl FnMut(&mut String, V),
+) {
+    let n = entries.len();
+    if n == 0 {
+        return;
+    }
+    for (i, (key, value)) in entries.enumerate() {
+        let _ = write!(out, "\n{:indent$}\"{}\": ", "", escape_json(key));
+        write_value(out, value);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    let _ = write!(out, "\n{:width$}", "", width = indent - 2);
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a metric name for use as a JSON string.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as a human-friendly duration.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.incr();
+        assert_eq!(r.counter_value("x"), Some(4));
+        assert_eq!(a.value(), 4);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter("x");
+        c.add(10);
+        let g = r.gauge("y");
+        g.set(5);
+        {
+            let _guard = r.span("stage");
+        }
+        assert_eq!(r.counter_value("x"), Some(0));
+        assert_eq!(r.gauge_value("y"), Some(0));
+        assert!(r.span_paths().is_empty());
+        // Flipping it on makes the same handles live.
+        r.set_enabled(true);
+        c.add(10);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let r = MetricsRegistry::new();
+        {
+            let _outer = r.span("mobility");
+            {
+                let _inner = r.span("fit/gravity4");
+            }
+            {
+                let _inner = r.span("evaluate");
+            }
+        }
+        {
+            let _top = r.span("load");
+        }
+        assert_eq!(
+            r.span_paths(),
+            vec![
+                "mobility",
+                "mobility/fit/gravity4",
+                "mobility/evaluate",
+                "load"
+            ]
+        );
+        let stat = r.span_stat("mobility/fit/gravity4").unwrap();
+        assert_eq!(stat.calls, 1);
+        assert!(stat.max_ns >= stat.min_ns);
+    }
+
+    #[test]
+    fn span_calls_aggregate() {
+        let r = MetricsRegistry::new();
+        for _ in 0..3 {
+            let _g = r.span("fit");
+        }
+        let stat = r.span_stat("fit").unwrap();
+        assert_eq!(stat.calls, 3);
+        assert!(stat.total_ns >= stat.max_ns);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        c.add(7);
+        let h = r.histogram("h", &[10]);
+        h.record(3);
+        {
+            let _g = r.span("s");
+        }
+        r.reset();
+        assert_eq!(r.counter_value("n"), Some(0));
+        assert_eq!(h.count(), 0);
+        assert!(r.span_paths().is_empty());
+        c.add(2);
+        assert_eq!(r.counter_value("n"), Some(2));
+    }
+
+    #[test]
+    fn trace_renders_indented_tree() {
+        let r = MetricsRegistry::new();
+        {
+            let _a = r.span("load");
+            let _b = r.span("read_jsonl");
+        }
+        let trace = r.render_trace();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert!(lines[0].starts_with("load"));
+        assert!(lines[1].starts_with("  read_jsonl"));
+        assert!(MetricsRegistry::new().render_trace().contains("no spans"));
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(500), "500 ns");
+        assert_eq!(format_ns(1_500), "1.5 µs");
+        assert_eq!(format_ns(2_000_000), "2.00 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = MetricsRegistry::new();
+        r.counter("we\"ird\\name").incr();
+        let json = r.to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Monotonic span timers with nested scopes.
+//!
+//! A span is opened with [`crate::MetricsRegistry::span`] (or the
+//! [`crate::span!`] macro against the global registry) and closed by
+//! dropping the returned guard. Nesting is tracked per thread: a span
+//! opened while another is live gets the parent's path as a prefix, so
+//! `span("mobility")` containing `span("fit/gravity4")` records
+//! `mobility/fit/gravity4`. Timing uses `std::time::Instant` — the only
+//! place in the workspace allowed to touch a clock (see the
+//! `tweetmob-lint` determinism rule) — and durations never feed any
+//! result-bearing field.
+
+use crate::registry::MetricsRegistry;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+thread_local! {
+    /// The stack of full span paths live on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Times the span completed. Deterministic for a deterministic
+    /// pipeline — the only field of a span that is.
+    pub calls: u64,
+    /// Total nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Fastest single call, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single call, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn observe(&mut self, elapsed_ns: u64) {
+        if self.calls == 0 {
+            self.min_ns = elapsed_ns;
+            self.max_ns = elapsed_ns;
+        } else {
+            self.min_ns = self.min_ns.min(elapsed_ns);
+            self.max_ns = self.max_ns.max(elapsed_ns);
+        }
+        self.calls += 1;
+        self.total_ns = self.total_ns.saturating_add(elapsed_ns);
+    }
+}
+
+/// Upper bounds of the fixed per-span latency histogram, nanoseconds:
+/// 1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s (+ overflow).
+pub const LATENCY_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// All spans a registry has seen: first-start order for trace rendering,
+/// alphabetical (`BTreeMap`) order for serialization.
+#[derive(Debug, Default)]
+pub(crate) struct SpanStore {
+    /// Full paths in the order each was first *started* — parents before
+    /// children, deterministic for a deterministic pipeline.
+    pub(crate) order: Vec<String>,
+    pub(crate) stats: BTreeMap<String, SpanStat>,
+    /// Per-path latency histogram: one count per `LATENCY_BOUNDS_NS`
+    /// entry plus a trailing overflow cell.
+    pub(crate) latency: BTreeMap<String, [u64; LATENCY_BOUNDS_NS.len() + 1]>,
+}
+
+impl SpanStore {
+    pub(crate) fn note_start(&mut self, path: &str) {
+        if !self.stats.contains_key(path) {
+            self.order.push(path.to_string());
+            self.stats.insert(path.to_string(), SpanStat::default());
+        }
+    }
+
+    pub(crate) fn record(&mut self, path: &str, elapsed_ns: u64) {
+        self.stats
+            .entry(path.to_string())
+            .or_default()
+            .observe(elapsed_ns);
+        let buckets = self
+            .latency
+            .entry(path.to_string())
+            .or_insert([0; LATENCY_BOUNDS_NS.len() + 1]);
+        let idx = LATENCY_BOUNDS_NS.partition_point(|&b| b < elapsed_ns);
+        buckets[idx] += 1;
+    }
+}
+
+/// Pushes `name` onto the thread's span stack, returning the full path.
+pub(crate) fn push_scope(name: &str) -> String {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    })
+}
+
+/// Pops the innermost scope (guard drop).
+pub(crate) fn pop_scope() {
+    SPAN_STACK.with(|stack| {
+        stack.borrow_mut().pop();
+    });
+}
+
+/// RAII guard for one live span. Dropping it records the elapsed time
+/// into the owning registry; guards must be dropped on the thread that
+/// opened them (nesting is thread-local).
+#[must_use = "a span guard measures until dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    /// `None` for the no-op guard handed out while the registry is
+    /// disabled — no clock is read and nothing is recorded.
+    pub(crate) active: Option<(&'a MetricsRegistry, String, Instant)>,
+}
+
+impl SpanGuard<'_> {
+    /// The full (nesting-prefixed) path, or `None` for a no-op guard.
+    #[must_use]
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|(_, p, _)| p.as_str())
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((registry, path, start)) = self.active.take() {
+            let elapsed = start.elapsed().as_nanos();
+            // lint: allow(lossy-cast) — u128→u64 ns saturates after ~584 years
+            let elapsed_ns = u64::try_from(elapsed).unwrap_or(u64::MAX);
+            pop_scope();
+            registry.record_span(&path, elapsed_ns);
+        }
+    }
+}

@@ -43,6 +43,9 @@ const ERRAND_PROBABILITY: f64 = 0.2;
 const ERRAND_RADIUS_KM: f64 = 0.4;
 /// Maximum frozen venues per (user, place).
 const MAX_VENUES: usize = 3;
+/// Buckets of the `synth/tweets_per_user` activity histogram — the
+/// observable behind the paper's Fig. 2a heavy tail.
+const TWEETS_PER_USER_BOUNDS: [u64; 9] = [1, 2, 5, 10, 20, 50, 100, 200, 500];
 /// Venue selection CDF: 65 % primary, 25 % secondary, 10 % tertiary.
 const VENUE_CDF: [f64; MAX_VENUES] = [0.65, 0.90, 1.0];
 
@@ -151,6 +154,7 @@ impl TweetGenerator {
     /// thread per available core. Output is independent of thread count:
     /// every user stream is seeded by `(config.seed, user_id)` alone.
     pub fn generate(&self) -> TweetDataset {
+        let _span = tweetmob_obs::span!("synth/generate");
         let n_users = self.config.n_users;
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -180,7 +184,14 @@ impl TweetGenerator {
         })
         // lint: allow(no-panic) — scope only errs if a child thread panicked
         .expect("generator thread scope failed");
-        TweetDataset::from_tweets(tweets)
+        let ds = TweetDataset::from_tweets(tweets);
+        tweetmob_obs::counter!("synth/users").add(u64::from(n_users));
+        tweetmob_obs::counter!("synth/tweets_generated").add(ds.n_tweets() as u64);
+        let per_user: Vec<u64> = ds.tweets_per_user().iter().map(|&c| u64::from(c)).collect();
+        tweetmob_obs::global()
+            .histogram("synth/tweets_per_user", &TWEETS_PER_USER_BOUNDS)
+            .record_all(&per_user);
+        ds
     }
 
     /// Generates one user's tweets into `out`.

@@ -23,7 +23,9 @@
 //! * [`core`] — the multi-scale estimation framework (the paper's
 //!   contribution);
 //! * [`epidemic`] — metapopulation SIR/SEIR over fitted mobility networks
-//!   (the paper's stated future-work application).
+//!   (the paper's stated future-work application);
+//! * [`obs`] — structured spans, counters and pipeline metrics (the
+//!   instrumentation every stage above records into).
 //!
 //! ## Quickstart
 //!
@@ -48,5 +50,6 @@ pub use tweetmob_data as data;
 pub use tweetmob_epidemic as epidemic;
 pub use tweetmob_geo as geo;
 pub use tweetmob_models as models;
+pub use tweetmob_obs as obs;
 pub use tweetmob_stats as stats;
 pub use tweetmob_synth as synth;
