@@ -33,11 +33,14 @@ pub const METRICS_OUT: &str = "metrics-out";
 /// The `--trace` switch every subcommand accepts: print the span trace
 /// tree to stderr after the run.
 pub const TRACE: &str = "trace";
+/// The `--threads <n>` flag every subcommand accepts: pin the shared
+/// worker pool's thread count (overrides `TWEETMOB_THREADS`).
+pub const THREADS: &str = "threads";
 
 impl Args {
-    /// Parses raw arguments with the observability flags
-    /// ([`METRICS_OUT`], [`TRACE`]) appended to the accepted lists —
-    /// every subcommand takes them.
+    /// Parses raw arguments with the global flags ([`METRICS_OUT`],
+    /// [`TRACE`], [`THREADS`]) appended to the accepted lists — every
+    /// subcommand takes them.
     ///
     /// # Errors
     ///
@@ -49,6 +52,7 @@ impl Args {
     ) -> Result<Self, ArgError> {
         let mut valued: Vec<&str> = valued.to_vec();
         valued.push(METRICS_OUT);
+        valued.push(THREADS);
         let mut switches: Vec<&str> = switches.to_vec();
         switches.push(TRACE);
         Self::parse(raw, &valued, &switches)

@@ -3,9 +3,7 @@
 use crate::args::Args;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use tweetmob_core::{
-    deterrence_ablation, AreaSet, Experiment, PopulationSource, Scale,
-};
+use tweetmob_core::{deterrence_ablation, AreaSet, Experiment, PopulationSource, Scale};
 use tweetmob_data::{io as dataio, DatasetSummary, TweetDataset};
 use tweetmob_epidemic::{MobilityNetwork, OutbreakScenario, SeirParams};
 use tweetmob_models::InterveningPopulation;
@@ -103,9 +101,7 @@ pub fn emit_observability(args: &Args) -> Result<()> {
 }
 
 fn dataset_arg(args: &Args) -> Result<TweetDataset> {
-    let path = args
-        .positional(0)
-        .ok_or("missing dataset argument")?;
+    let path = args.positional(0).ok_or("missing dataset argument")?;
     load(path)
 }
 
@@ -171,11 +167,7 @@ pub fn mobility(args: &Args) -> Result<()> {
         PopulationSource::Twitter
     };
     let exp = Experiment::new(&ds);
-    let report = exp.mobility_with(
-        &AreaSet::of_scale(scale),
-        source,
-        scale.name().to_string(),
-    )?;
+    let report = exp.mobility_with(&AreaSet::of_scale(scale), source, scale.name().to_string())?;
     print!("{report}");
     if args.has("extended") {
         let ablation = deterrence_ablation(&report);
@@ -237,9 +229,7 @@ pub fn epidemic(args: &Args) -> Result<()> {
         scenario = scenario.with_initial_immunity(immune);
     }
     if let Some(sigma) = args.get("sigma") {
-        let sigma: f64 = sigma
-            .parse()
-            .map_err(|e| format!("--sigma: {e}"))?;
+        let sigma: f64 = sigma.parse().map_err(|e| format!("--sigma: {e}"))?;
         scenario = scenario.with_seir(SeirParams { sigma });
     }
     if let Some(spec) = args.get("restrict") {
@@ -248,7 +238,9 @@ pub fn epidemic(args: &Args) -> Result<()> {
             .ok_or("--restrict wants DAY:FACTOR, e.g. 30:0.1")?;
         scenario = scenario.with_travel_restriction(
             day.parse().map_err(|e| format!("--restrict day: {e}"))?,
-            factor.parse().map_err(|e| format!("--restrict factor: {e}"))?,
+            factor
+                .parse()
+                .map_err(|e| format!("--restrict factor: {e}"))?,
         );
     }
     let timeline = scenario.run_deterministic(days, 0.25)?;

@@ -55,6 +55,9 @@ GLOBAL FLAGS (accepted by every command):
     --metrics-out PATH       write pipeline metrics (spans, counters,
                              histograms) as JSON after the run
     --trace                  print the span trace tree to stderr
+    --threads N              worker threads for parallel stages
+                             (overrides TWEETMOB_THREADS; results are
+                             identical at every thread count)
 ";
 
 fn main() {
@@ -102,8 +105,16 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         }
         other => return Err(format!("unknown command {other:?}").into()),
     };
-    // Every subcommand also accepts --metrics-out <path> and --trace.
+    // Every subcommand also accepts --metrics-out, --trace, --threads.
     let args = Args::parse_with_observability(rest, valued, switches)?;
+    if let Some(n) = args.get(args::THREADS) {
+        let n: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--threads {n:?}: expected a positive integer"))?;
+        tweetmob_par::set_threads_override(Some(n));
+    }
     let result = handler(&args);
     // Metrics are emitted even after a failed command — a partial run's
     // counters and spans are exactly what is needed to debug it.

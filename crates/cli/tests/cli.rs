@@ -106,9 +106,11 @@ fn csv_format_roundtrips_via_cli() {
 fn epidemic_command_runs_with_restriction() {
     let path = tmp("epi.jsonl");
     let path_str = path.to_str().unwrap();
-    assert!(run(&["generate", path_str, "--users", "3000", "--seed", "8"])
-        .status
-        .success());
+    assert!(
+        run(&["generate", path_str, "--users", "3000", "--seed", "8"])
+            .status
+            .success()
+    );
     let out = run(&[
         "epidemic",
         path_str,
@@ -134,9 +136,16 @@ fn epidemic_command_runs_with_restriction() {
 fn export_writes_machine_readable_results() {
     let data = tmp("export.jsonl");
     let out_json = tmp("export-results.json");
-    assert!(run(&["generate", data.to_str().unwrap(), "--users", "4000", "--seed", "13"])
-        .status
-        .success());
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "4000",
+        "--seed",
+        "13"
+    ])
+    .status
+    .success());
     let out = run(&["export", data.to_str().unwrap(), out_json.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = std::fs::read_to_string(&out_json).unwrap();
@@ -262,6 +271,91 @@ fn metrics_identical_across_same_seed_runs_modulo_durations() {
     std::fs::remove_file(&data).ok();
 }
 
+/// Drops the `par/<stage>/*` gauges: they describe execution shape
+/// (thread and chunk counts) and differ across thread counts by design.
+fn redact_par_gauges(v: &mut serde_json::Value) {
+    if let Some(gauges) = v.get_mut("gauges").and_then(|g| g.as_object_mut()) {
+        gauges.retain(|k, _| !k.starts_with("par/"));
+    }
+}
+
+#[test]
+fn results_byte_identical_across_thread_counts() {
+    let data = tmp("threads.jsonl");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "4000",
+        "--seed",
+        "17"
+    ])
+    .status
+    .success());
+    let mut exports = Vec::new();
+    let mut metric_docs = Vec::new();
+    for (name, threads) in [("threads-1", "1"), ("threads-8", "8")] {
+        let out_json = tmp(&format!("{name}.json"));
+        let metrics = tmp(&format!("{name}-metrics.json"));
+        let out = run(&[
+            "export",
+            data.to_str().unwrap(),
+            out_json.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            stderr(&out)
+        );
+        exports.push(std::fs::read(&out_json).unwrap());
+        let mut doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        redact_durations(&mut doc);
+        redact_par_gauges(&mut doc);
+        metric_docs.push(doc);
+        std::fs::remove_file(&out_json).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+    assert_eq!(
+        exports[0], exports[1],
+        "exported results must be byte-identical at 1 vs 8 threads"
+    );
+    assert_eq!(
+        metric_docs[0], metric_docs[1],
+        "metrics must agree modulo durations and par/ execution-shape gauges"
+    );
+
+    // The TWEETMOB_THREADS env var is an equivalent control.
+    let out_json = tmp("threads-env.json");
+    let out = bin()
+        .args(["export", data.to_str().unwrap(), out_json.to_str().unwrap()])
+        .env("TWEETMOB_THREADS", "8")
+        .output()
+        .expect("spawn tweetmob");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&out_json).unwrap(),
+        exports[0],
+        "env-pinned run must match the flag-pinned runs"
+    );
+    std::fs::remove_file(&out_json).ok();
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn bad_threads_value_reports_the_flag() {
+    let out = run(&["summary", "/tmp/whatever.jsonl", "--threads", "zero"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("threads"));
+    let out = run(&["summary", "/tmp/whatever.jsonl", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("threads"));
+}
+
 #[test]
 fn failed_command_still_emits_metrics() {
     let bad = tmp("bad.jsonl");
@@ -305,7 +399,9 @@ fn bad_flag_values_report_the_flag() {
 
     let path = tmp("flags.jsonl");
     let path_str = path.to_str().unwrap();
-    assert!(run(&["generate", path_str, "--users", "200"]).status.success());
+    assert!(run(&["generate", path_str, "--users", "200"])
+        .status
+        .success());
     let out = run(&["population", path_str, "--scale", "galactic"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown scale"));

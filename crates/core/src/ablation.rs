@@ -12,8 +12,8 @@
 
 use crate::experiment::MobilityReport;
 use tweetmob_models::{
-    evaluate, evaluate_vectors, DoublyConstrainedFit, GravityExpFit, ModelError,
-    ModelEvaluation, TannerFit,
+    evaluate, evaluate_vectors, DoublyConstrainedFit, GravityExpFit, ModelError, ModelEvaluation,
+    TannerFit,
 };
 
 /// The extended model comparison for one scale.

@@ -76,9 +76,8 @@ pub fn displacement_profile(dataset: &TweetDataset) -> Result<DisplacementProfil
     let pdf = bins.pdf(&jumps);
     let tail = fit_alpha(&jumps, 1.0).ok();
     let total = jumps.len() as f64;
-    let share = |lo: f64, hi: f64| {
-        jumps.iter().filter(|&&d| d >= lo && d < hi).count() as f64 / total
-    };
+    let share =
+        |lo: f64, hi: f64| jumps.iter().filter(|&&d| d >= lo && d < hi).count() as f64 / total;
     let shares = DisplacementShares {
         local: share(0.0, 5.0),
         metropolitan: share(5.0, 100.0),
@@ -113,9 +112,17 @@ mod tests {
         let base = Point::new_unchecked(-33.0, 151.0);
         let ds = TweetDataset::from_tweets(vec![
             Tweet::new(UserId(1), Timestamp::from_secs(0), base),
-            Tweet::new(UserId(1), Timestamp::from_secs(10), destination(base, 90.0, 7.0)),
+            Tweet::new(
+                UserId(1),
+                Timestamp::from_secs(10),
+                destination(base, 90.0, 7.0),
+            ),
             // User 2 far away must not create a cross-user jump.
-            Tweet::new(UserId(2), Timestamp::from_secs(5), destination(base, 0.0, 500.0)),
+            Tweet::new(
+                UserId(2),
+                Timestamp::from_secs(5),
+                destination(base, 0.0, 500.0),
+            ),
         ]);
         let jumps = displacements_km(&ds);
         assert_eq!(jumps.len(), 1);
@@ -162,11 +169,7 @@ mod tests {
     #[test]
     fn pdf_integrates_to_at_most_one() {
         let profile = displacement_profile(medium()).unwrap();
-        let integral: f64 = profile
-            .pdf
-            .iter()
-            .map(|b| b.density * (b.hi - b.lo))
-            .sum();
+        let integral: f64 = profile.pdf.iter().map(|b| b.density * (b.hi - b.lo)).sum();
         assert!(integral <= 1.0 + 1e-9);
         assert!(integral > 0.9, "integral {integral}");
     }
@@ -176,7 +179,11 @@ mod tests {
         let p = Point::new_unchecked(-33.0, 151.0);
         let ds = TweetDataset::from_tweets(vec![
             Tweet::new(UserId(1), Timestamp::from_secs(0), p),
-            Tweet::new(UserId(1), Timestamp::from_secs(10), destination(p, 90.0, 1.0)),
+            Tweet::new(
+                UserId(1),
+                Timestamp::from_secs(10),
+                destination(p, 90.0, 1.0),
+            ),
         ]);
         assert!(displacement_profile(&ds).is_err());
     }

@@ -11,8 +11,8 @@ use std::fmt;
 use tweetmob_data::TweetDataset;
 use tweetmob_geo::GridIndex;
 use tweetmob_models::{
-    evaluate, FlowObservation, Gravity2Fit, Gravity4Fit, InterveningPopulation,
-    ModelError, ModelEvaluation, OpportunitiesFit, RadiationFit,
+    evaluate, FlowObservation, Gravity2Fit, Gravity4Fit, InterveningPopulation, ModelError,
+    ModelEvaluation, OpportunitiesFit, RadiationFit,
 };
 use tweetmob_stats::StatsError;
 
@@ -224,13 +224,11 @@ impl<'a> Experiment<'a> {
         let od = extract_trips(self.dataset, areas);
         let populations = match source {
             PopulationSource::Census => areas.census_populations(),
-            PopulationSource::Twitter => {
-                estimate_population(self.dataset, &self.index, areas)?
-                    .areas
-                    .iter()
-                    .map(|a| a.twitter_users as f64)
-                    .collect()
-            }
+            PopulationSource::Twitter => estimate_population(self.dataset, &self.index, areas)?
+                .areas
+                .iter()
+                .map(|a| a.twitter_users as f64)
+                .collect(),
         };
         let observations = {
             let _span = tweetmob_obs::span!("odmatrix");
@@ -285,11 +283,7 @@ impl<'a> Experiment<'a> {
 /// from `populations`, `d` from centre distances, `s` from the
 /// intervening-population structure over the same population vector, `T`
 /// from the OD matrix.
-fn build_observations(
-    areas: &AreaSet,
-    populations: &[f64],
-    od: &OdMatrix,
-) -> Vec<FlowObservation> {
+fn build_observations(areas: &AreaSet, populations: &[f64], od: &OdMatrix) -> Vec<FlowObservation> {
     use tweetmob_stats::check::{debug_assert_finite_slice, debug_assert_nonneg};
     // This is where integer OD counts and estimated populations become
     // the floats every downstream fit consumes — the last place a NaN or
@@ -336,7 +330,10 @@ mod tests {
         assert!(pop.correlation.p_two_tailed < 1e-4);
         // Sydney must dominate the counts.
         let sydney = &pop.areas[0];
-        assert!(pop.areas.iter().all(|a| a.twitter_users <= sydney.twitter_users));
+        assert!(pop
+            .areas
+            .iter()
+            .all(|a| a.twitter_users <= sydney.twitter_users));
     }
 
     #[test]

@@ -46,9 +46,20 @@ mod trips;
 
 pub use ablation::{deterrence_ablation, DeterrenceAblation};
 pub use areaset::{AreaSet, Scale};
-pub use displacement::{displacement_profile, displacements_km, DisplacementProfile, DisplacementShares};
-pub use experiment::{Experiment, ExperimentError, MobilityReport, PopulationSource, ScaleComparison};
+pub use displacement::{
+    displacement_profile, displacements_km, DisplacementProfile, DisplacementShares,
+};
+pub use experiment::{
+    Experiment, ExperimentError, MobilityReport, PopulationSource, ScaleComparison,
+};
 pub use odmatrix::OdMatrix;
 pub use population::{AreaPopulation, PooledPopulation, PopulationCorrelation};
-pub use temporal::{temporal_stability, waiting_time_stationarity, TemporalStability, WindowResult};
+pub use temporal::{
+    temporal_stability, waiting_time_stationarity, TemporalStability, WindowResult,
+};
 pub use trips::extract_trips;
+
+/// The shared deterministic worker pool every parallel stage runs on
+/// (re-exported so pipeline callers can pin thread counts via
+/// `tweetmob_core::par::with_threads` / `set_threads_override`).
+pub use tweetmob_par as par;

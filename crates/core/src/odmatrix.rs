@@ -87,7 +87,9 @@ impl OdMatrix {
     #[must_use]
     pub fn outflow(&self, origin: usize) -> u64 {
         assert!(origin < self.n, "area index out of range");
-        self.counts[origin * self.n..(origin + 1) * self.n].iter().sum()
+        self.counts[origin * self.n..(origin + 1) * self.n]
+            .iter()
+            .sum()
     }
 
     /// Total inflow of an area (column sum).

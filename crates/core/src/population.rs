@@ -83,11 +83,19 @@ pub struct PooledPopulation {
 ///
 /// `index` must be a [`GridIndex`] over `dataset.points()` (row order),
 /// so hit indices map straight to the dataset's parallel user column.
+/// The per-area radius queries are independent reads of a shared
+/// [`GridIndex`], so they are dispatched over the [`tweetmob_par`] pool
+/// (`par/population/*` gauges); each area's unique-user count is
+/// computed entirely inside its own map call, so the concatenated
+/// counts are identical at every thread count.
 ///
 /// # Errors
 ///
-/// Propagates correlation failures (e.g. every area had zero users →
-/// zero variance).
+/// [`StatsError::EmptySample`] when no tweet falls within any study
+/// area — the rescaling factor `Σcensus / Σtwitter` is undefined (it
+/// used to silently come out NaN and poison every downstream metric).
+/// Otherwise propagates correlation failures (e.g. every area had the
+/// same user count → zero variance).
 pub fn estimate_population(
     dataset: &TweetDataset,
     index: &GridIndex,
@@ -95,28 +103,42 @@ pub fn estimate_population(
 ) -> Result<PopulationCorrelation, StatsError> {
     let _span = tweetmob_obs::span!("population");
     let users = dataset.users();
-    let mut twitter: Vec<u64> = Vec::with_capacity(areas.len());
-    for a in areas.areas() {
-        let mut hits: Vec<u32> = Vec::new();
-        index.for_each_within_radius(a.center, areas.radius_km(), |i, _| {
-            hits.push(users[i as usize].0);
-        });
-        hits.sort_unstable();
-        hits.dedup();
-        twitter.push(hits.len() as u64);
-    }
+    // Areas are few (≈20) but each query scans a 50 km circle over
+    // potentially millions of points, so even 4 areas are worth
+    // fanning out.
+    let area_list = areas.areas();
+    let twitter: Vec<u64> = tweetmob_par::par_map_reduce(
+        "population",
+        area_list.len(),
+        4,
+        |range| {
+            let mut counts = Vec::with_capacity(range.len());
+            for a in &area_list[range] {
+                let mut hits: Vec<u32> = Vec::new();
+                index.for_each_within_radius(a.center, areas.radius_km(), |i, _| {
+                    hits.push(users[i as usize].0);
+                });
+                hits.sort_unstable();
+                hits.dedup();
+                counts.push(hits.len() as u64);
+            }
+            counts
+        },
+        |mut acc, chunk| {
+            acc.extend(chunk);
+            acc
+        },
+    );
     let census = areas.census_populations();
     let census_total: f64 = census.iter().sum();
     let twitter_total: f64 = twitter.iter().map(|&u| u as f64).sum();
-    let rescale_factor = if twitter_total > 0.0 {
-        census_total / twitter_total
-    } else {
-        f64::NAN
-    };
-    let rescaled: Vec<f64> = twitter
-        .iter()
-        .map(|&u| u as f64 * rescale_factor)
-        .collect();
+    if twitter_total <= 0.0 {
+        return Err(StatsError::EmptySample(
+            "no tweets within any study area; rescaling factor undefined",
+        ));
+    }
+    let rescale_factor = census_total / twitter_total;
+    let rescaled: Vec<f64> = twitter.iter().map(|&u| u as f64 * rescale_factor).collect();
     let correlation = log_pearson(&rescaled, &census)?;
     let correlation_raw = pearson(&rescaled, &census)?;
     let user_counts: Vec<f64> = twitter.iter().map(|&u| u as f64).collect();
@@ -268,6 +290,26 @@ mod tests {
         let areas = AreaSet::of_scale(Scale::National);
         let pop = estimate_population(&ds, &index_of(&ds), &areas).unwrap();
         assert_eq!(pop.areas[0].twitter_users, 0, "Sydney should see nobody");
+    }
+
+    #[test]
+    fn no_hits_is_an_error_not_nan() {
+        // Every tweet is in the outback, outside all national areas.
+        // Regression: the rescale factor used to come out NaN and poison
+        // every downstream metric silently.
+        let tweets: Vec<Tweet> = (0..10)
+            .map(|u| {
+                Tweet::new(
+                    UserId(u),
+                    Timestamp::from_secs(i64::from(u)),
+                    tweetmob_geo::Point::new_unchecked(-25.0, 135.0),
+                )
+            })
+            .collect();
+        let ds = TweetDataset::from_tweets(tweets);
+        let areas = AreaSet::of_scale(Scale::National);
+        let err = estimate_population(&ds, &index_of(&ds), &areas).unwrap_err();
+        assert!(matches!(err, StatsError::EmptySample(_)), "got {err:?}");
     }
 
     #[test]

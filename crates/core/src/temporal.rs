@@ -74,9 +74,7 @@ impl TemporalStability {
 /// # Errors
 ///
 /// [`ExperimentError::Stats`] when either half has no waiting times.
-pub fn waiting_time_stationarity(
-    dataset: &TweetDataset,
-) -> Result<(f64, f64), ExperimentError> {
+pub fn waiting_time_stationarity(dataset: &TweetDataset) -> Result<(f64, f64), ExperimentError> {
     const MAX_GAPS_PER_USER: usize = 32;
     let (mut t_min, mut t_max) = (i64::MAX, i64::MIN);
     for t in dataset.times() {

@@ -14,53 +14,33 @@ use tweetmob_data::TweetDataset;
 ///
 /// Users are processed independently (their streams are already
 /// time-ordered slices); area assignment uses [`AreaSet::assign`] —
-/// nearest centre within the search radius. Work is split across threads
-/// per user block; the result is identical to the serial order because
-/// each trip increments an independent cell count.
+/// nearest centre within the search radius. Work is dispatched over the
+/// shared [`tweetmob_par`] pool per user block; the result is identical
+/// at every thread count because each trip increments an independent
+/// integer cell count and the drop tallies are commutative sums.
 pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
     let _span = tweetmob_obs::span!("trips");
     let users: Vec<_> = dataset.iter_users().collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(users.len().max(1));
-    if threads <= 1 || users.len() < 64 {
-        let mut od = OdMatrix::new(areas.len());
-        let mut drops = DropCounts::default();
-        for view in &users {
-            drops.merge(extract_user(view.points, areas, &mut od));
-        }
-        publish_counts(&od, drops);
-        return od;
-    }
-    let chunk = users.len().div_ceil(threads);
-    let mut merged = OdMatrix::new(areas.len());
-    let mut drops = DropCounts::default();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = users
-            .chunks(chunk)
-            .map(|block| {
-                scope.spawn(move |_| {
-                    let mut od = OdMatrix::new(areas.len());
-                    let mut drops = DropCounts::default();
-                    for view in block {
-                        drops.merge(extract_user(view.points, areas, &mut od));
-                    }
-                    (od, drops)
-                })
-            })
-            .collect();
-        for h in handles {
-            // lint: allow(no-panic) — join only fails if the worker already panicked
-            let (od, block_drops) = h.join().expect("trip extraction worker panicked");
-            merged.merge(&od);
-            drops.merge(block_drops);
-        }
-    })
-    // lint: allow(no-panic) — scope only errs if a child thread panicked
-    .expect("trip extraction scope failed");
-    publish_counts(&merged, drops);
-    merged
+    let (od, drops) = tweetmob_par::par_map_reduce(
+        "trips",
+        users.len(),
+        64,
+        |range| {
+            let mut od = OdMatrix::new(areas.len());
+            let mut drops = DropCounts::default();
+            for view in &users[range] {
+                drops.merge(extract_user(view.points, areas, &mut od));
+            }
+            (od, drops)
+        },
+        |(mut od, mut drops), (chunk_od, chunk_drops)| {
+            od.merge(&chunk_od);
+            drops.merge(chunk_drops);
+            (od, drops)
+        },
+    );
+    publish_counts(&od, drops);
+    od
 }
 
 /// Tallies of consecutive same-user pairs that contribute no trip.

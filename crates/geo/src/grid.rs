@@ -45,18 +45,36 @@ impl GridIndex {
     /// Builds an index over `points` with square cells of `cell_deg`
     /// degrees (clamped to a minimum of 1e-6°).
     ///
+    /// The total cell count is capped at `4 · points.len()` (minimum 1):
+    /// a pathologically small `cell_deg` over a continental bounding box
+    /// would otherwise demand ~10¹⁵ cells and abort on allocation, and
+    /// more cells than points buys no query selectivity anyway. When the
+    /// cap binds, `cell_deg` is widened adaptively (doubling) until the
+    /// grid fits; query results are unaffected (cell size never changes
+    /// which points a radius query returns, only how many buckets it
+    /// scans).
+    ///
     /// An empty point set yields a valid index whose queries return
     /// nothing.
     pub fn build(points: Vec<Point>, cell_deg: f64) -> Self {
-        let cell_deg = cell_deg.max(1e-6);
+        let mut cell_deg = cell_deg.max(1e-6);
         let bbox = BoundingBox::covering(points.iter().copied()).unwrap_or(BoundingBox {
             min_lat: 0.0,
             max_lat: 0.0,
             min_lon: 0.0,
             max_lon: 0.0,
         });
-        let nx = (bbox.lon_span() / cell_deg).floor() as usize + 1;
-        let ny = (bbox.lat_span() / cell_deg).floor() as usize + 1;
+        let max_cells = points.len().saturating_mul(4).max(1);
+        let (nx, ny) = loop {
+            // Sized in f64 first: the usize conversion of an unbounded
+            // span ÷ cell ratio could overflow long before the cap check.
+            let fx = (bbox.lon_span() / cell_deg).floor() + 1.0;
+            let fy = (bbox.lat_span() / cell_deg).floor() + 1.0;
+            if fx * fy <= max_cells as f64 {
+                break ((fx.floor() as usize).max(1), (fy.floor() as usize).max(1));
+            }
+            cell_deg *= 2.0;
+        };
         let ncells = nx * ny;
 
         // Counting sort of point indices into cell buckets.
@@ -134,12 +152,10 @@ impl GridIndex {
         };
         let dlon = radius_km / (KM_PER_DEG_LAT * worst_lat.to_radians().cos().max(1e-9));
         let clampx = |lon: f64| -> usize {
-            (((lon - self.bbox.min_lon) / self.cell_deg).floor().max(0.0) as usize)
-                .min(self.nx - 1)
+            (((lon - self.bbox.min_lon) / self.cell_deg).floor().max(0.0) as usize).min(self.nx - 1)
         };
         let clampy = |lat: f64| -> usize {
-            (((lat - self.bbox.min_lat) / self.cell_deg).floor().max(0.0) as usize)
-                .min(self.ny - 1)
+            (((lat - self.bbox.min_lat) / self.cell_deg).floor().max(0.0) as usize).min(self.ny - 1)
         };
         (
             clampx(center.lon - dlon),
@@ -205,8 +221,7 @@ impl GridIndex {
         let max_radius = {
             // A radius guaranteed to cover the whole bbox from any centre.
             let diag_deg = (self.bbox.lat_span().powi(2) + self.bbox.lon_span().powi(2)).sqrt();
-            (diag_deg + 1.0) * KM_PER_DEG_LAT
-                + haversine_km(center, self.bbox.center())
+            (diag_deg + 1.0) * KM_PER_DEG_LAT + haversine_km(center, self.bbox.center())
         };
         let mut radius = (self.cell_deg * KM_PER_DEG_LAT).max(1.0);
         loop {
@@ -340,7 +355,9 @@ mod tests {
     fn empty_index_returns_nothing() {
         let idx = GridIndex::build(Vec::new(), 1.0);
         assert!(idx.is_empty());
-        assert!(idx.within_radius(Point::new_unchecked(0.0, 0.0), 1e6).is_empty());
+        assert!(idx
+            .within_radius(Point::new_unchecked(0.0, 0.0), 1e6)
+            .is_empty());
         assert!(idx.k_nearest(Point::new_unchecked(0.0, 0.0), 3).is_empty());
         assert!(idx.in_bbox(&AUS).is_empty());
     }
@@ -350,7 +367,10 @@ mod tests {
     #[test]
     fn negative_radius_returns_nothing() {
         let idx = GridIndex::build(grid_cities(), 1.0);
-        assert_eq!(idx.count_within_radius(Point::new_unchecked(-33.0, 151.0), -1.0), 0);
+        assert_eq!(
+            idx.count_within_radius(Point::new_unchecked(-33.0, 151.0), -1.0),
+            0
+        );
     }
 
     #[test]
@@ -445,6 +465,28 @@ mod tests {
         // edge point sits within an inclusive 50 km + epsilon query.
         assert_eq!(idx.count_within_radius(center, 50.0 + 1e-6), 1);
         assert_eq!(idx.count_within_radius(center, 49.999), 0);
+    }
+
+    #[test]
+    fn tiny_cell_over_continental_span_is_capped_not_oom() {
+        // Regression: 1e-7° cells over an Australia-spanning point set
+        // used to demand ~10^17 buckets and abort on allocation. The
+        // build must now widen the cells to respect the 4·n cap while
+        // returning the same query results.
+        let pts = grid_cities();
+        let idx = GridIndex::build(pts.clone(), 1e-7);
+        let nx_ny = ((idx.bbox.lon_span() / idx.cell_deg()).floor() + 1.0)
+            * ((idx.bbox.lat_span() / idx.cell_deg()).floor() + 1.0);
+        assert!(
+            nx_ny <= (pts.len() * 4) as f64,
+            "cell cap violated: {nx_ny}"
+        );
+        let sydney = pts[0];
+        for r in [10.0, 300.0, 5000.0] {
+            let mut got = idx.within_radius(sydney, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, sydney, r), "radius {r}");
+        }
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   `geo`), a float arithmetic expression cast straight to an integer
 //!   type must state its rounding (`.floor()` / `.ceil()` / `.round()` /
 //!   `.trunc()`) instead of relying on `as`'s silent truncation.
+//! * **`par-layer`** — no raw `thread::spawn` / `thread::scope` /
+//!   `crossbeam` outside `tweetmob-par`: every parallel stage dispatches
+//!   on the shared worker pool so thread-count policy, gauges and the
+//!   determinism contract live in one place.
 //!
 //! Any finding can be suppressed with an explicit, justified annotation on
 //! the same or the preceding line:
@@ -63,10 +67,14 @@ const RESULT_CRATES: &[&str] = &[
 ];
 
 /// Crates where bare float→int `as` truncation is rejected.
-const CAST_STRICT_CRATES: &[&str] =
-    &["tweetmob-stats", "tweetmob-models", "tweetmob-core", "tweetmob-geo"];
+const CAST_STRICT_CRATES: &[&str] = &[
+    "tweetmob-stats",
+    "tweetmob-models",
+    "tweetmob-core",
+    "tweetmob-geo",
+];
 
-/// The five rule families.
+/// The six rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Crate root missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
@@ -79,6 +87,8 @@ pub enum Rule {
     Determinism,
     /// Bare lossy float→int cast.
     LossyCast,
+    /// Raw thread spawn outside the shared `tweetmob-par` worker pool.
+    ParLayer,
 }
 
 impl Rule {
@@ -91,6 +101,7 @@ impl Rule {
             Rule::FloatOrd => "float-ord",
             Rule::Determinism => "determinism",
             Rule::LossyCast => "lossy-cast",
+            Rule::ParLayer => "par-layer",
         }
     }
 }
@@ -172,6 +183,9 @@ pub fn lint_source(label: &str, crate_name: &str, kind: FileKind, source: &str) 
     if kind.is_library() && CAST_STRICT_CRATES.contains(&crate_name) {
         check_lossy_cast(label, code, &in_test, &mut out);
     }
+    if crate_name != "tweetmob-par" {
+        check_par_layer(label, code, &in_test, &mut out);
+    }
 
     out.retain(|d| !is_allowed(&raw_lines, d.line, d.rule));
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -212,7 +226,10 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String, FileKind
     if !root.join("Cargo.toml").is_file() {
         return Err(io::Error::new(
             io::ErrorKind::NotFound,
-            format!("no Cargo.toml under {} — not a workspace root", root.display()),
+            format!(
+                "no Cargo.toml under {} — not a workspace root",
+                root.display()
+            ),
         ));
     }
     let mut packages: Vec<PathBuf> = vec![root.to_path_buf()];
@@ -339,9 +356,7 @@ fn strip_non_code(src: &str) -> Stripped {
                     st = St::Str;
                     out.push(' ');
                 }
-                'r' | 'b'
-                    if is_raw_string_start(&chars, i) =>
-                {
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
                     // Consume the prefix (r, br) and hashes up to the quote.
                     let mut j = i;
                     while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
@@ -602,7 +617,10 @@ fn is_allowed(raw_lines: &[&str], line: usize, rule: Rule) -> bool {
     let Some(idx) = line.checked_sub(1) else {
         return false;
     };
-    if raw_lines.get(idx).is_some_and(|t| annotation_allows(t, rule)) {
+    if raw_lines
+        .get(idx)
+        .is_some_and(|t| annotation_allows(t, rule))
+    {
         return true;
     }
     let mut above = idx;
@@ -641,10 +659,7 @@ fn annotation_allows(text: &str, rule: Rule) -> bool {
     let Some(dash) = after.find(['—', '–', '-']) else {
         return false;
     };
-    after[dash..]
-        .chars()
-        .skip(1)
-        .any(|c| c.is_alphanumeric())
+    after[dash..].chars().skip(1).any(|c| c.is_alphanumeric())
 }
 
 // ---------------------------------------------------------------------------
@@ -652,7 +667,11 @@ fn annotation_allows(text: &str, rule: Rule) -> bool {
 // ---------------------------------------------------------------------------
 
 fn check_crate_header(label: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
-    let flat: String = stripped.code.chars().filter(|c| !c.is_whitespace()).collect();
+    let flat: String = stripped
+        .code
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
     for (needle, attr) in [
         ("#![forbid(unsafe_code)]", "#![forbid(unsafe_code)]"),
         ("#![deny(missing_docs)]", "#![deny(missing_docs)]"),
@@ -679,10 +698,22 @@ fn check_no_panic(
     out: &mut Vec<Diagnostic>,
 ) {
     const TOKENS: &[(&str, &str)] = &[
-        (".unwrap()", "use `?`, a default, or a documented `expect` with an annotation"),
-        (".expect(", "return an error instead, or annotate with the invariant that holds"),
-        ("panic!", "return an error; panics abort entire experiment pipelines"),
-        ("unreachable!", "make the unreachable state unrepresentable, or annotate why it cannot occur"),
+        (
+            ".unwrap()",
+            "use `?`, a default, or a documented `expect` with an annotation",
+        ),
+        (
+            ".expect(",
+            "return an error instead, or annotate with the invariant that holds",
+        ),
+        (
+            "panic!",
+            "return an error; panics abort entire experiment pipelines",
+        ),
+        (
+            "unreachable!",
+            "make the unreachable state unrepresentable, or annotate why it cannot occur",
+        ),
         ("todo!", "finish the implementation before merging"),
         ("unimplemented!", "finish the implementation before merging"),
     ];
@@ -815,7 +846,10 @@ fn check_determinism(
     out: &mut Vec<Diagnostic>,
 ) {
     const TOKENS: &[(&str, &str)] = &[
-        ("thread_rng", "seed an `StdRng` from the experiment config instead"),
+        (
+            "thread_rng",
+            "seed an `StdRng` from the experiment config instead",
+        ),
         ("from_entropy", "seed from the experiment config instead"),
         ("SystemTime::now", "thread the timestamp in as data"),
     ];
@@ -972,9 +1006,7 @@ fn cast_source_is_unrounded_float(code: &str, as_off: usize) -> bool {
             b'0'..=b'9' => {
                 // Numeric literal: scan it; a '.' makes it float.
                 let mut start = end;
-                while start > 0
-                    && (is_ident_byte(bytes[start - 1]) || bytes[start - 1] == b'.')
-                {
+                while start > 0 && (is_ident_byte(bytes[start - 1]) || bytes[start - 1] == b'.') {
                     start -= 1;
                 }
                 let lit = &code[start..end];
@@ -1024,12 +1056,47 @@ fn has_float_literal(fragment: &str) -> bool {
         // Exclude ranges `0..` and method calls on integers `2.max(..)`.
         match bytes.get(i + 1) {
             Some(&n) if n.is_ascii_digit() => return true,
-            Some(&b'.') => continue,                       // range
+            Some(&b'.') => continue, // range
             Some(&n) if n.is_ascii_alphabetic() || n == b'_' => continue, // method/field
-            _ => return true, // `1.` at end or before an operator
+            _ => return true,        // `1.` at end or before an operator
         }
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: parallel execution stays on the shared pool.
+// ---------------------------------------------------------------------------
+
+/// Rejects raw thread spawns outside `tweetmob-par`. The shared pool is
+/// where thread-count resolution (`TWEETMOB_THREADS`, overrides), the
+/// `par/<stage>/*` gauges and the chunk-order determinism contract live;
+/// a bespoke `thread::scope` elsewhere silently opts out of all three.
+/// Test code may spawn freely (e.g. to probe concurrency itself).
+fn check_par_layer(
+    label: &str,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "crossbeam"];
+    for &tok in TOKENS {
+        for off in find_token(code, tok) {
+            if in_test(off) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::ParLayer,
+                message: format!(
+                    "`{tok}` outside `tweetmob-par`: dispatch on \
+                     `tweetmob_par::par_map_chunks`/`par_map_reduce` so thread policy, \
+                     gauges and determinism stay centralised"
+                ),
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1272,7 +1339,8 @@ mod tests {
 
     #[test]
     fn lossy_cast_accepts_explicit_rounding_and_integer_casts() {
-        let good = "fn f(lon: f64, cell: f64) -> usize {\n    ((lon + 1.0) / cell).floor() as usize\n}\n\
+        let good =
+            "fn f(lon: f64, cell: f64) -> usize {\n    ((lon + 1.0) / cell).floor() as usize\n}\n\
                     fn g(h: f64) -> (usize, usize) { (h.floor() as usize, h.ceil() as usize) }\n\
                     fn h(n: usize) -> f64 { n as f64 }\n\
                     fn k(starts: &[u32], c: usize) -> usize { starts[c] as usize }\n\
@@ -1301,6 +1369,51 @@ mod tests {
                    // lint: allow(lossy-cast) — x is a trusted cell index in [0, n)\n    \
                    (x / 2.0) as usize\n}\n";
         assert!(lint_lib(src).is_empty());
+    }
+
+    // -- par-layer ---------------------------------------------------------
+
+    #[test]
+    fn par_layer_rejects_raw_thread_spawns_everywhere_but_par() {
+        let bad = "fn f() {\n    std::thread::spawn(|| {});\n    \
+                   std::thread::scope(|s| { let _ = s; });\n    \
+                   crossbeam::scope(|s| { let _ = s; }).unwrap();\n}\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, bad);
+        let par: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == Rule::ParLayer).collect();
+        assert_eq!(par.len(), 3, "{d:?}");
+        assert_eq!(par[0].line, 2);
+        assert_eq!(par[1].line, 3);
+        assert_eq!(par[2].line, 4);
+        // Binaries must go through the pool too.
+        let b = lint_source("bin/x.rs", "tweetmob-bench", FileKind::Binary, bad);
+        assert_eq!(b.iter().filter(|d| d.rule == Rule::ParLayer).count(), 3);
+    }
+
+    #[test]
+    fn par_layer_exempts_the_pool_crate_and_tests() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        let ok = lint_source("lib.rs", "tweetmob-par", FileKind::Library, src);
+        assert!(ok.iter().all(|d| d.rule != Rule::ParLayer), "{ok:?}");
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                       std::thread::spawn(|| {}).join().unwrap();\n    }\n}\n";
+        assert!(lint_source("m.rs", "tweetmob-core", FileKind::Library, in_test).is_empty());
+    }
+
+    #[test]
+    fn par_layer_allows_available_parallelism() {
+        let src = "fn f() -> usize {\n    \
+                   std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, src);
+        assert!(d.iter().all(|d| d.rule != Rule::ParLayer), "{d:?}");
+    }
+
+    #[test]
+    fn par_layer_annotation_suppresses() {
+        let src = "fn f() {\n    \
+                   // lint: allow(par-layer) — watchdog thread, not a compute stage\n    \
+                   std::thread::spawn(|| {});\n}\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, src);
+        assert!(d.iter().all(|d| d.rule != Rule::ParLayer), "{d:?}");
     }
 
     // -- scanner internals -------------------------------------------------

@@ -21,10 +21,8 @@ struct Scratch(PathBuf);
 
 impl Scratch {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "tweetmob-lint-test-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tweetmob-lint-test-{}-{tag}", std::process::id()));
         // A stale dir from a crashed earlier run must not pollute results.
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("create scratch dir");
@@ -46,8 +44,11 @@ impl Drop for Scratch {
 /// `tweetmob-core` so the result-crate (determinism) and cast-strict
 /// (lossy-cast) rule families both apply.
 fn write_fixture(root: &Path, lib_source: &str) {
-    fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
-        .expect("write workspace manifest");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write workspace manifest");
     let pkg = root.join("crates/fixture");
     fs::create_dir_all(pkg.join("src")).expect("create fixture src");
     fs::write(
@@ -80,6 +81,11 @@ pub fn count(map: &std::collections::HashMap<u32, u32>) -> u32 {
 pub fn trunc(x: f64) -> i64 {
     (x * 3.0) as i64
 }
+
+/// Spawns a bespoke worker thread.
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
 ";
 
 const GOOD_FIXTURE: &str = "\
@@ -105,6 +111,11 @@ pub fn count(map: &std::collections::BTreeMap<u32, u32>) -> u32 {
 /// Rounds a scaled value explicitly before converting.
 pub fn trunc(x: f64) -> i64 {
     (x * 3.0).floor() as i64
+}
+
+/// Dispatches work on the shared pool instead of spawning raw threads.
+pub fn spawn_worker() -> usize {
+    tweetmob_par::par_map_chunks(\"fixture\", 8, 0, |r| r.len()).len()
 }
 ";
 
@@ -154,14 +165,13 @@ fn bad_fixture_is_flagged_on_exact_lines() {
     assert!(has(14, Rule::Determinism), "{}", render_report(&diags));
     // Bare float→int truncation with float arithmetic in the cast span.
     assert!(has(20, Rule::LossyCast), "{}", render_report(&diags));
+    // Raw thread spawn outside the shared pool.
+    assert!(has(25, Rule::ParLayer), "{}", render_report(&diags));
 
-    // No stray findings outside the five violation sites.
-    let expected_lines = [1, 5, 10, 14, 20];
+    // No stray findings outside the six violation sites.
+    let expected_lines = [1, 5, 10, 14, 20, 25];
     for d in &diags {
-        assert!(
-            expected_lines.contains(&d.line),
-            "unexpected finding: {d}"
-        );
+        assert!(expected_lines.contains(&d.line), "unexpected finding: {d}");
     }
 }
 
@@ -181,7 +191,9 @@ fn annotated_bad_fixture_is_allowed() {
     write_fixture(scratch.path(), &annotated);
     let diags = lint_workspace(scratch.path()).expect("lint annotated fixture");
     assert!(
-        !diags.iter().any(|d| d.rule == Rule::NoPanic && d.message.contains("unwrap")),
+        !diags
+            .iter()
+            .any(|d| d.rule == Rule::NoPanic && d.message.contains("unwrap")),
         "annotated unwrap must be allowed:\n{}",
         render_report(&diags)
     );
@@ -212,7 +224,10 @@ fn binary_reports_diagnostics_and_exit_codes() {
         stdout.contains("lib.rs:5: [no-panic]"),
         "diagnostics must carry file:line: [rule], got:\n{stdout}"
     );
-    assert!(stdout.contains("finding"), "summary line expected:\n{stdout}");
+    assert!(
+        stdout.contains("finding"),
+        "summary line expected:\n{stdout}"
+    );
 
     let clean = std::process::Command::new(bin)
         .arg(real_root())

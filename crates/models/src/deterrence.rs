@@ -20,9 +20,7 @@ const LOG10_E: f64 = std::f64::consts::LOG10_E;
 
 fn map_stats_err(e: StatsError) -> ModelError {
     match e {
-        StatsError::TooFewSamples { needed, got } => {
-            ModelError::TooFewObservations { needed, got }
-        }
+        StatsError::TooFewSamples { needed, got } => ModelError::TooFewObservations { needed, got },
         _ => ModelError::DegenerateFit("singular log-space regression"),
     }
 }
@@ -52,9 +50,8 @@ impl GravityExpFit {
     pub fn fit(observations: &[FlowObservation]) -> Result<Self, ModelError> {
         let mut ols = Ols::new(1);
         for o in observations.iter().filter(|o| o.fittable()) {
-            let lhs = o.observed_flow.log10()
-                - o.origin_population.log10()
-                - o.dest_population.log10();
+            let lhs =
+                o.observed_flow.log10() - o.origin_population.log10() - o.dest_population.log10();
             ols.add(&[o.distance_km], lhs).map_err(map_stats_err)?;
         }
         let n_used = ols.n();
@@ -119,9 +116,8 @@ impl TannerFit {
     pub fn fit(observations: &[FlowObservation]) -> Result<Self, ModelError> {
         let mut ols = Ols::new(2);
         for o in observations.iter().filter(|o| o.fittable()) {
-            let lhs = o.observed_flow.log10()
-                - o.origin_population.log10()
-                - o.dest_population.log10();
+            let lhs =
+                o.observed_flow.log10() - o.origin_population.log10() - o.dest_population.log10();
             ols.add(&[o.distance_km.log10(), o.distance_km], lhs)
                 .map_err(map_stats_err)?;
         }
@@ -184,7 +180,11 @@ mod tests {
             })
             .collect();
         let fit = GravityExpFit::fit(&data).unwrap();
-        assert!((fit.kappa_km - 150.0).abs() < 1e-6, "kappa {}", fit.kappa_km);
+        assert!(
+            (fit.kappa_km - 150.0).abs() < 1e-6,
+            "kappa {}",
+            fit.kappa_km
+        );
         assert!((fit.c - 0.001).abs() / 0.001 < 1e-9);
         for o in &data {
             assert!((fit.predict(o) - o.observed_flow).abs() / o.observed_flow < 1e-9);

@@ -31,20 +31,26 @@ pub struct ModelEvaluation {
     pub sorensen: f64,
     /// Observation pairs scored.
     pub n_pairs: usize,
+    /// Scoreable observations the model failed to predict (non-positive
+    /// or non-finite prediction). Silent before; models that predicted
+    /// nothing for half their pairs used to look identical to models
+    /// that scored everything.
+    pub n_dropped_predictions: usize,
 }
 
 impl fmt::Display for ModelEvaluation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<16} r={:.3} hit@50%={:.3} logRMSE={:.3} ρ={:.3} SSI={:.3} (n={})",
+            "{:<16} r={:.3} hit@50%={:.3} logRMSE={:.3} ρ={:.3} SSI={:.3} (n={}, dropped={})",
             self.model,
             self.pearson,
             self.hit_rate_50,
             self.log_rmse,
             self.spearman,
             self.sorensen,
-            self.n_pairs
+            self.n_pairs,
+            self.n_dropped_predictions
         )
     }
 }
@@ -53,7 +59,12 @@ impl fmt::Display for ModelEvaluation {
 ///
 /// Only observations with a positive observed flow enter the metrics
 /// (pairs with zero observed flow cannot be scored by relative error or
-/// log correlation; the fitted models never saw them either).
+/// log correlation; the fitted models never saw them either). Scoreable
+/// observations the model fails to predict — non-positive or non-finite
+/// prediction — are excluded from the metrics but **counted**: they show
+/// up in [`ModelEvaluation::n_dropped_predictions`] and the
+/// `evaluate/dropped_predictions` observability counter, so a model that
+/// answers half its pairs no longer scores like one that answers all.
 ///
 /// # Errors
 ///
@@ -68,11 +79,10 @@ pub fn evaluate<M: MobilityModel>(
     let mut obs = Vec::with_capacity(observations.len());
     for o in observations {
         if o.observed_flow > 0.0 && o.observed_flow.is_finite() {
-            let p = model.predict(o);
-            if p.is_finite() && p > 0.0 {
-                est.push(p);
-                obs.push(o.observed_flow);
-            }
+            // Keep the raw prediction: evaluate_vectors owns the
+            // drop accounting so both entry points count identically.
+            est.push(model.predict(o));
+            obs.push(o.observed_flow);
         }
     }
     evaluate_vectors(model.name(), &est, &obs)
@@ -81,8 +91,14 @@ pub fn evaluate<M: MobilityModel>(
 /// Scores pre-computed prediction/observation vectors with the same
 /// metric battery as [`evaluate`]. Used by models whose predictions are
 /// matrix-shaped rather than a function of `(m, n, d, s)` — e.g. the
-/// doubly-constrained IPF fit. Pairs where either side is non-positive
-/// or non-finite are skipped.
+/// doubly-constrained IPF fit.
+///
+/// Pairs with an unusable *observation* (non-positive or non-finite)
+/// are skipped silently — they can never be scored, whoever predicts.
+/// Pairs with a usable observation but an unusable *estimate* are the
+/// model's failure: they are skipped **and counted** in
+/// [`ModelEvaluation::n_dropped_predictions`] plus the
+/// `evaluate/dropped_predictions` counter.
 ///
 /// # Errors
 ///
@@ -96,11 +112,20 @@ pub fn evaluate_vectors(
 ) -> Result<ModelEvaluation, ModelError> {
     let mut est = Vec::with_capacity(estimated.len());
     let mut obs = Vec::with_capacity(observed.len());
+    let mut n_dropped = 0usize;
     for (&e, &o) in estimated.iter().zip(observed) {
-        if e > 0.0 && e.is_finite() && o > 0.0 && o.is_finite() {
+        if !o.is_finite() || o <= 0.0 {
+            continue;
+        }
+        if e > 0.0 && e.is_finite() {
             est.push(e);
             obs.push(o);
+        } else {
+            n_dropped += 1;
         }
+    }
+    if n_dropped > 0 {
+        tweetmob_obs::counter!("evaluate/dropped_predictions").add(n_dropped as u64);
     }
     if est.len() < 3 {
         return Err(ModelError::TooFewObservations {
@@ -108,12 +133,9 @@ pub fn evaluate_vectors(
             got: est.len(),
         });
     }
-    let corr = log_pearson(&est, &obs).map_err(|_| {
-        ModelError::DegenerateFit("log-pearson degenerate (constant flows?)")
-    })?;
-    let rho = spearman(&est, &obs)
-        .map(|c| c.r)
-        .unwrap_or(f64::NAN);
+    let corr = log_pearson(&est, &obs)
+        .map_err(|_| ModelError::DegenerateFit("log-pearson degenerate (constant flows?)"))?;
+    let rho = spearman(&est, &obs).map(|c| c.r).unwrap_or(f64::NAN);
     // `pearson_p` and `spearman` keep their documented NaN sentinels;
     // everything else must come out finite and in range.
     Ok(ModelEvaluation {
@@ -126,8 +148,7 @@ pub fn evaluate_vectors(
             "evaluation hit rate",
         ),
         log_rmse: debug_assert_nonneg(
-            log_rmse(&est, &obs)
-                .map_err(|_| ModelError::DegenerateFit("log-rmse undefined"))?,
+            log_rmse(&est, &obs).map_err(|_| ModelError::DegenerateFit("log-rmse undefined"))?,
             "evaluation log-RMSE",
         ),
         spearman: rho,
@@ -137,6 +158,7 @@ pub fn evaluate_vectors(
             "evaluation Sørensen index",
         ),
         n_pairs: est.len(),
+        n_dropped_predictions: n_dropped,
     })
 }
 
@@ -212,6 +234,49 @@ mod tests {
             evaluate(&fit, &data[..2]),
             Err(ModelError::TooFewObservations { .. })
         ));
+    }
+
+    #[test]
+    fn dropped_predictions_are_counted_not_silent() {
+        // Two "models" scored on identical observations: one answers
+        // every pair, the other emits unusable values for a third of
+        // them. Before the fix both reported only their (different)
+        // n_pairs, and the partial model's drops were invisible.
+        let observed: Vec<f64> = (1..=30).map(|i| i as f64 * 10.0).collect();
+        let full: Vec<f64> = observed.iter().map(|&o| o * 1.01).collect();
+        let partial: Vec<f64> = observed
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| match i % 3 {
+                0 => o * 1.01,
+                1 if i == 1 => f64::NAN,
+                1 => 0.0,
+                _ => o * 0.99,
+            })
+            .collect();
+        let before = tweetmob_obs::global()
+            .counter_value("evaluate/dropped_predictions")
+            .unwrap_or(0);
+        let e_full = evaluate_vectors("Full", &full, &observed).unwrap();
+        let e_partial = evaluate_vectors("Partial", &partial, &observed).unwrap();
+        assert_eq!(e_full.n_dropped_predictions, 0);
+        assert_eq!(e_full.n_pairs, 30);
+        assert_eq!(e_partial.n_dropped_predictions, 10);
+        assert_eq!(e_partial.n_pairs, 20);
+        let after = tweetmob_obs::global()
+            .counter_value("evaluate/dropped_predictions")
+            .unwrap_or(0);
+        assert!(after >= before + 10, "counter {before} -> {after}");
+        assert!(e_partial.to_string().contains("dropped=10"));
+    }
+
+    #[test]
+    fn bad_observations_are_skipped_without_blaming_the_model() {
+        let observed = [10.0, f64::NAN, -5.0, 0.0, 20.0, 30.0];
+        let est = [11.0, 1.0, 1.0, 1.0, 19.0, 31.0];
+        let e = evaluate_vectors("Clean", &est, &observed).unwrap();
+        assert_eq!(e.n_pairs, 3);
+        assert_eq!(e.n_dropped_predictions, 0);
     }
 
     #[test]

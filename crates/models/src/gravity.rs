@@ -44,9 +44,7 @@ pub struct Gravity2Fit {
 
 fn map_stats_err(e: StatsError) -> ModelError {
     match e {
-        StatsError::TooFewSamples { needed, got } => {
-            ModelError::TooFewObservations { needed, got }
-        }
+        StatsError::TooFewSamples { needed, got } => ModelError::TooFewObservations { needed, got },
         _ => ModelError::DegenerateFit("singular log-space regression"),
     }
 }
@@ -86,6 +84,229 @@ impl Gravity4Fit {
     }
 }
 
+/// One linearly spaced search axis for [`GravityGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridAxis {
+    /// First grid value.
+    pub min: f64,
+    /// Last grid value (equals `min` when `steps == 1`).
+    pub max: f64,
+    /// Number of grid values (≥ 1).
+    pub steps: usize,
+}
+
+impl GridAxis {
+    /// The `i`-th value on the axis (`i < steps`).
+    #[must_use]
+    pub fn value(&self, i: usize) -> f64 {
+        if self.steps <= 1 {
+            self.min
+        } else {
+            self.min + (self.max - self.min) * i as f64 / (self.steps - 1) as f64
+        }
+    }
+
+    fn valid(&self) -> bool {
+        self.steps >= 1 && self.min.is_finite() && self.max.is_finite() && self.min <= self.max
+    }
+}
+
+/// Exponent search grid for [`Gravity4Fit::fit_grid`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GravityGrid {
+    /// Origin-population exponent axis.
+    pub alpha: GridAxis,
+    /// Destination-population exponent axis.
+    pub beta: GridAxis,
+    /// Distance-decay exponent axis.
+    pub gamma: GridAxis,
+}
+
+impl Default for GravityGrid {
+    /// α, β ∈ [0, 2] and γ ∈ [0, 3], all at 0.05 resolution —
+    /// 41 × 41 × 61 ≈ 103 k candidates, bracketing every exponent the
+    /// paper or the mobility literature reports.
+    fn default() -> Self {
+        Self {
+            alpha: GridAxis {
+                min: 0.0,
+                max: 2.0,
+                steps: 41,
+            },
+            beta: GridAxis {
+                min: 0.0,
+                max: 2.0,
+                steps: 41,
+            },
+            gamma: GridAxis {
+                min: 0.0,
+                max: 3.0,
+                steps: 61,
+            },
+        }
+    }
+}
+
+impl GravityGrid {
+    /// Total candidate count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alpha.steps * self.beta.steps * self.gamma.steps
+    }
+
+    /// Whether the grid has no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes a linear candidate index into `(α, β, γ)`.
+    fn decode(&self, idx: usize) -> (f64, f64, f64) {
+        let ig = idx % self.gamma.steps;
+        let ib = (idx / self.gamma.steps) % self.beta.steps;
+        let ia = idx / (self.gamma.steps * self.beta.steps);
+        (
+            self.alpha.value(ia),
+            self.beta.value(ib),
+            self.gamma.value(ig),
+        )
+    }
+}
+
+/// Per-chunk best candidate: SSE with the linear index as total
+/// tie-break, so the min-merge is order-independent and the grid search
+/// is bit-identical at every thread count.
+#[derive(Clone, Copy)]
+struct BestCandidate {
+    sse: f64,
+    idx: usize,
+}
+
+impl BestCandidate {
+    fn better_than(&self, other: &Self) -> bool {
+        self.sse
+            .total_cmp(&other.sse)
+            .then(self.idx.cmp(&other.idx))
+            == std::cmp::Ordering::Less
+    }
+}
+
+impl Gravity4Fit {
+    /// Fits Eq. 1 by exhaustive grid search over `(α, β, γ)` with the
+    /// scale `C` solved in closed form per candidate (the log-space SSE
+    /// is quadratic in `log C`, minimised at the mean residual).
+    ///
+    /// Unlike the OLS [`fit`](Self::fit) this is robust to collinear
+    /// predictors and lets callers bound the exponents; it is also the
+    /// workspace's showcase compute-bound stage, dispatched over
+    /// [`tweetmob_par`] (`par/gravity-grid/*` gauges). The winning
+    /// candidate is the minimum SSE with the smaller linear grid index
+    /// as a total tie-break, so the result is identical at every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooFewObservations`] with fewer than 2 fittable
+    /// observations; [`ModelError::DegenerateFit`] on an invalid/empty
+    /// grid or zero variance in log flows.
+    pub fn fit_grid(
+        observations: &[FlowObservation],
+        grid: &GravityGrid,
+    ) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/gravity4-grid");
+        if !(grid.alpha.valid() && grid.beta.valid() && grid.gamma.valid()) {
+            return Err(ModelError::DegenerateFit("invalid gravity search grid"));
+        }
+        // Precompute the per-observation logs once; each of the ~10^5
+        // candidates then costs n fused multiply-adds.
+        let logs: Vec<[f64; 4]> = observations
+            .iter()
+            .filter(|o| o.fittable())
+            .map(|o| {
+                [
+                    o.origin_population.log10(),
+                    o.dest_population.log10(),
+                    o.distance_km.log10(),
+                    o.observed_flow.log10(),
+                ]
+            })
+            .collect();
+        let n_used = logs.len();
+        if n_used < 2 {
+            return Err(ModelError::TooFewObservations {
+                needed: 2,
+                got: n_used,
+            });
+        }
+        let n = n_used as f64;
+        let mean_lp = logs.iter().map(|l| l[3]).sum::<f64>() / n;
+        let sst: f64 = logs.iter().map(|l| (l[3] - mean_lp).powi(2)).sum();
+        if sst <= 0.0 {
+            return Err(ModelError::DegenerateFit("zero variance in log flows"));
+        }
+
+        let logs = &logs;
+        let best = tweetmob_par::par_map_reduce(
+            "gravity-grid",
+            grid.len(),
+            4096,
+            |range| {
+                let mut best = BestCandidate {
+                    sse: f64::INFINITY,
+                    idx: usize::MAX,
+                };
+                for idx in range {
+                    let (alpha, beta, gamma) = grid.decode(idx);
+                    // Residual before the intercept: r_i = log P_i −
+                    // (α·log m + β·log n − γ·log d). Optimal log C is
+                    // mean(r), so SSE = Σr² − (Σr)²/n.
+                    let mut sum = 0.0;
+                    let mut sumsq = 0.0;
+                    for l in logs {
+                        let r = l[3] - (alpha * l[0] + beta * l[1] - gamma * l[2]);
+                        sum += r;
+                        sumsq += r * r;
+                    }
+                    let sse = sumsq - sum * sum / n;
+                    let cand = BestCandidate { sse, idx };
+                    if cand.better_than(&best) {
+                        best = cand;
+                    }
+                }
+                best
+            },
+            |a, b| if b.better_than(&a) { b } else { a },
+        );
+        if best.idx == usize::MAX {
+            return Err(ModelError::DegenerateFit("empty gravity search grid"));
+        }
+
+        let (alpha, beta, gamma) = grid.decode(best.idx);
+        let log_c = logs
+            .iter()
+            .map(|l| l[3] - (alpha * l[0] + beta * l[1] - gamma * l[2]))
+            .sum::<f64>()
+            / n;
+        // Recompute the winner's SSE serially in index order so the
+        // reported R² never depends on chunk-local rounding.
+        let sse: f64 = logs
+            .iter()
+            .map(|l| {
+                let r = l[3] - (alpha * l[0] + beta * l[1] - gamma * l[2]);
+                (r - log_c).powi(2)
+            })
+            .sum();
+        Ok(Self {
+            c: debug_assert_finite(10f64.powf(log_c), "gravity-grid C"),
+            alpha,
+            beta,
+            gamma,
+            log_r_squared: debug_assert_finite(1.0 - sse / sst, "gravity-grid R^2"),
+            n_used,
+        })
+    }
+}
+
 impl MobilityModel for Gravity4Fit {
     fn name(&self) -> &'static str {
         "Gravity 4Param"
@@ -107,10 +328,10 @@ impl Gravity2Fit {
         let _span = tweetmob_obs::span!("fit/gravity2");
         let mut ols = Ols::new(1);
         for o in observations.iter().filter(|o| o.fittable()) {
-            let lhs = o.observed_flow.log10()
-                - o.origin_population.log10()
-                - o.dest_population.log10();
-            ols.add(&[o.distance_km.log10()], lhs).map_err(map_stats_err)?;
+            let lhs =
+                o.observed_flow.log10() - o.origin_population.log10() - o.dest_population.log10();
+            ols.add(&[o.distance_km.log10()], lhs)
+                .map_err(map_stats_err)?;
         }
         let n_used = ols.n();
         let fit = ols.solve().map_err(map_stats_err)?;
@@ -251,6 +472,74 @@ mod tests {
         assert!(matches!(
             Gravity2Fit::fit(&data),
             Err(ModelError::DegenerateFit(_))
+        ));
+    }
+
+    #[test]
+    fn grid_search_recovers_on_grid_parameters() {
+        // 0.85 / 1.1 / 1.8 all sit exactly on the default 0.05 lattice.
+        let data = synthetic(0.003, 0.85, 1.1, 1.8, 120);
+        let fit = Gravity4Fit::fit_grid(&data, &GravityGrid::default()).unwrap();
+        assert!((fit.alpha - 0.85).abs() < 1e-12, "alpha {}", fit.alpha);
+        assert!((fit.beta - 1.1).abs() < 1e-12, "beta {}", fit.beta);
+        assert!((fit.gamma - 1.8).abs() < 1e-12, "gamma {}", fit.gamma);
+        assert!((fit.c - 0.003).abs() / 0.003 < 1e-6, "c {}", fit.c);
+        assert!(fit.log_r_squared > 1.0 - 1e-9);
+        assert_eq!(fit.n_used, 120);
+    }
+
+    #[test]
+    fn grid_search_is_thread_count_invariant() {
+        let data = synthetic(0.02, 0.6, 1.25, 2.1, 80);
+        let grid = GravityGrid::default();
+        let serial = tweetmob_par::with_threads(1, || Gravity4Fit::fit_grid(&data, &grid).unwrap());
+        let parallel =
+            tweetmob_par::with_threads(8, || Gravity4Fit::fit_grid(&data, &grid).unwrap());
+        // Bit-identical, not merely close: the min-merge has a total
+        // tie-break and SSEs are computed per-candidate.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_axis_endpoints_and_single_step() {
+        let ax = GridAxis {
+            min: 0.0,
+            max: 2.0,
+            steps: 41,
+        };
+        assert_eq!(ax.value(0), 0.0);
+        assert_eq!(ax.value(40), 2.0);
+        assert!((ax.value(17) - 0.85).abs() < 1e-12);
+        let pinned = GridAxis {
+            min: 1.5,
+            max: 1.5,
+            steps: 1,
+        };
+        assert_eq!(pinned.value(0), 1.5);
+    }
+
+    #[test]
+    fn grid_search_rejects_bad_inputs() {
+        let data = synthetic(0.01, 1.0, 1.0, 2.0, 50);
+        let mut grid = GravityGrid::default();
+        grid.alpha.steps = 0;
+        assert!(matches!(
+            Gravity4Fit::fit_grid(&data, &grid),
+            Err(ModelError::DegenerateFit(_))
+        ));
+        let mut inverted = GravityGrid::default();
+        inverted.gamma = GridAxis {
+            min: 2.0,
+            max: 1.0,
+            steps: 5,
+        };
+        assert!(matches!(
+            Gravity4Fit::fit_grid(&data, &inverted),
+            Err(ModelError::DegenerateFit(_))
+        ));
+        assert!(matches!(
+            Gravity4Fit::fit_grid(&data[..1], &GravityGrid::default()),
+            Err(ModelError::TooFewObservations { .. })
         ));
     }
 

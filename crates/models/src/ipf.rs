@@ -45,7 +45,10 @@ impl fmt::Display for IpfError {
             }
             IpfError::BadValue(v) => write!(f, "negative or non-finite value {v}"),
             IpfError::Unsatisfiable(what) => write!(f, "unsatisfiable constraints: {what}"),
-            IpfError::NoConvergence { iterations, residual } => write!(
+            IpfError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "IPF did not converge after {iterations} iterations (residual {residual:.2e})"
             ),
@@ -294,8 +297,7 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    let rel = (fit.predict(i, j) - observed[i * n + j]).abs()
-                        / observed[i * n + j];
+                    let rel = (fit.predict(i, j) - observed[i * n + j]).abs() / observed[i * n + j];
                     assert!(rel < 1e-8, "({i},{j}) rel {rel}");
                 }
             }

@@ -6,6 +6,10 @@
 //!   least squares in log space ([`Gravity4Fit`]).
 //! * **Gravity, 2 parameters** (Eq. 2): `P ∝ C · m n / dᵞ`
 //!   ([`Gravity2Fit`]).
+//! * **Gravity grid search** — exhaustive `(α, β, γ)` search with the
+//!   scale solved in closed form, dispatched over the shared
+//!   `tweetmob-par` worker pool ([`Gravity4Fit::fit_grid`] with
+//!   [`GravityGrid`]).
 //! * **Radiation** (Eq. 3): `P ∝ C · m n / ((m+s)(m+n+s))`, where `s` is
 //!   the population within radius `d` of the origin excluding origin and
 //!   destination ([`RadiationFit`], with [`InterveningPopulation`]
@@ -63,7 +67,7 @@ mod traits;
 
 pub use deterrence::{GravityExpFit, TannerFit};
 pub use evaluation::{evaluate, evaluate_vectors, ModelEvaluation};
-pub use gravity::{Gravity2Fit, Gravity4Fit};
+pub use gravity::{Gravity2Fit, Gravity4Fit, GravityGrid, GridAxis};
 pub use ipf::{DoublyConstrainedFit, IpfError};
 pub use opportunities::OpportunitiesFit;
 pub use radiation::{InterveningPopulation, RadiationFit};

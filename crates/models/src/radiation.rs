@@ -89,7 +89,10 @@ impl InterveningPopulation {
     ///
     /// If either index is out of range, or `origin == dest`.
     pub fn s(&self, origin: usize, dest: usize) -> f64 {
-        assert!(origin < self.len() && dest < self.len(), "index out of range");
+        assert!(
+            origin < self.len() && dest < self.len(),
+            "index out of range"
+        );
         assert_ne!(origin, dest, "s(i, i) is undefined");
         let d = haversine_km(self.centers[origin], self.centers[dest]);
         self.s_at_radius(origin, dest, d)
@@ -329,7 +332,10 @@ mod tests {
             .iter()
             .map(|o| (fit.predict(o) - o.observed_flow).abs() / o.observed_flow)
             .fold(0.0f64, f64::max);
-        assert!(max_rel > 1.0, "radiation fit gravity data too well: {max_rel}");
+        assert!(
+            max_rel > 1.0,
+            "radiation fit gravity data too well: {max_rel}"
+        );
     }
 
     #[test]

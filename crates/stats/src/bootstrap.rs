@@ -48,17 +48,16 @@ where
 {
     crate::check_paired(x, y)?;
     if x.is_empty() || n_resamples == 0 {
-        return Err(StatsError::TooFewSamples {
-            needed: 1,
-            got: 0,
-        });
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
     }
     if !(0.0 < level && level < 1.0) {
         return Err(StatsError::Degenerate("level must be in (0,1)"));
     }
     let estimate = stat(x, y)?;
     if !estimate.is_finite() {
-        return Err(StatsError::Degenerate("statistic non-finite on full sample"));
+        return Err(StatsError::Degenerate(
+            "statistic non-finite on full sample",
+        ));
     }
     let n = x.len();
     let mut rng = SplitMix64::new(seed);

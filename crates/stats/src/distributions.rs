@@ -241,15 +241,15 @@ mod tests {
     #[test]
     fn t_cdf_reference_values() {
         // SciPy t.cdf(2.0, 10) = 0.9633059826146299
-        close(student_t_cdf(2.0, 10.0).unwrap(), 0.963_305_982_614_629_9, 1e-12);
+        close(
+            student_t_cdf(2.0, 10.0).unwrap(),
+            0.963_305_982_614_629_9,
+            1e-12,
+        );
         // t.cdf(1.0, 1) = 0.75 (Cauchy)
         close(student_t_cdf(1.0, 1.0).unwrap(), 0.75, 1e-12);
         // Large df approaches the normal.
-        close(
-            student_t_cdf(1.96, 1e6).unwrap(),
-            normal_cdf(1.96),
-            1e-5,
-        );
+        close(student_t_cdf(1.96, 1e6).unwrap(), normal_cdf(1.96), 1e-5);
     }
 
     #[test]

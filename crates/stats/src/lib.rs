@@ -92,6 +92,9 @@ pub enum StatsError {
     /// A degenerate input made the statistic undefined (e.g. zero variance
     /// for correlation, singular design matrix for OLS).
     Degenerate(&'static str),
+    /// A routine that needs at least one effective sample saw none at all
+    /// (e.g. population rescaling when no tweets hit any study area).
+    EmptySample(&'static str),
 }
 
 impl std::fmt::Display for StatsError {
@@ -108,6 +111,7 @@ impl std::fmt::Display for StatsError {
             }
             StatsError::NonFiniteValue(v) => write!(f, "value {v} is not finite"),
             StatsError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+            StatsError::EmptySample(what) => write!(f, "empty sample: {what}"),
         }
     }
 }

@@ -297,11 +297,17 @@ mod tests {
         let mut k = 1u64;
         for _ in 0..200 {
             // Cheap deterministic pseudo-random predictors.
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lm = (k >> 33) as f64 / 2f64.powi(31) * 5.0 + 3.0;
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ln = (k >> 33) as f64 / 2f64.powi(31) * 5.0 + 3.0;
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ld = (k >> 33) as f64 / 2f64.powi(31) * 3.0;
             let y = 0.5 + 0.9 * lm + 0.7 * ln - 2.0 * ld;
             ols.add(&[lm, ln, ld], y).unwrap();

@@ -272,9 +272,19 @@ mod tests {
     #[test]
     fn ln_gamma_large_argument_stirling_regime() {
         // Reference value from SciPy: gammaln(100) = 359.1342053695754
-        assert_close(ln_gamma(100.0), 359.134_205_369_575_4, 1e-12, "ln_gamma(100)");
+        assert_close(
+            ln_gamma(100.0),
+            359.134_205_369_575_4,
+            1e-12,
+            "ln_gamma(100)",
+        );
         // gammaln(1000) = 5905.220423209181
-        assert_close(ln_gamma(1000.0), 5_905.220_423_209_181, 1e-12, "ln_gamma(1000)");
+        assert_close(
+            ln_gamma(1000.0),
+            5_905.220_423_209_181,
+            1e-12,
+            "ln_gamma(1000)",
+        );
     }
 
     #[test]

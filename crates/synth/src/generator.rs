@@ -150,40 +150,29 @@ impl TweetGenerator {
         &self.biases
     }
 
-    /// Generates the full dataset, parallelising across users with one
-    /// thread per available core. Output is independent of thread count:
-    /// every user stream is seeded by `(config.seed, user_id)` alone.
+    /// Generates the full dataset, parallelising across users on the
+    /// shared [`tweetmob_par`] pool. Output is independent of thread
+    /// count: every user stream is seeded by `(config.seed, user_id)`
+    /// alone, and chunk outputs are concatenated in user-id order.
     pub fn generate(&self) -> TweetDataset {
         let _span = tweetmob_obs::span!("synth/generate");
         let n_users = self.config.n_users;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(n_users as usize)
-            .max(1);
-        let chunk = n_users.div_ceil(threads as u32);
-        let mut tweets: Vec<Tweet> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads as u32)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n_users);
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for uid in lo..hi {
-                            self.user_stream(uid, &mut out);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                // lint: allow(no-panic) — join only fails if the worker already panicked
-                tweets.extend(h.join().expect("generator worker panicked"));
-            }
-        })
-        // lint: allow(no-panic) — scope only errs if a child thread panicked
-        .expect("generator thread scope failed");
+        let tweets = tweetmob_par::par_map_reduce(
+            "synth/generate",
+            n_users as usize,
+            64,
+            |range| {
+                let mut out = Vec::new();
+                for uid in range {
+                    self.user_stream(uid as u32, &mut out);
+                }
+                out
+            },
+            |mut acc: Vec<Tweet>, chunk| {
+                acc.extend(chunk);
+                acc
+            },
+        );
         let ds = TweetDataset::from_tweets(tweets);
         tweetmob_obs::counter!("synth/users").add(u64::from(n_users));
         tweetmob_obs::counter!("synth/tweets_generated").add(ds.n_tweets() as u64);
@@ -247,7 +236,9 @@ impl TweetGenerator {
         if current != home && rng.random::<f64>() < self.config.return_probability {
             return home;
         }
-        self.kernel.sample_destination(rng, current).unwrap_or(current)
+        self.kernel
+            .sample_destination(rng, current)
+            .unwrap_or(current)
     }
 
     /// Picks (lazily creating) one of the user's frozen venues in `place`.
@@ -262,7 +253,11 @@ impl TweetGenerator {
         let u: f64 = rng.random();
         let want = VENUE_CDF.iter().position(|&c| u < c).unwrap_or(0);
         while list.len() <= want {
-            list.push(scatter_point(rng, self.activity_centers[place], p.radius_km));
+            list.push(scatter_point(
+                rng,
+                self.activity_centers[place],
+                p.radius_km,
+            ));
         }
         list[want]
     }
@@ -347,10 +342,7 @@ mod tests {
         let a = small_dataset();
         let b = small_dataset();
         assert_eq!(a.n_tweets(), b.n_tweets());
-        assert!(a
-            .iter_tweets()
-            .zip(b.iter_tweets())
-            .all(|(x, y)| x == y));
+        assert!(a.iter_tweets().zip(b.iter_tweets()).all(|(x, y)| x == y));
     }
 
     #[test]
@@ -365,7 +357,11 @@ mod tests {
         let ds = small_dataset();
         let cfg = GeneratorConfig::small();
         for t in ds.iter_tweets() {
-            assert!(AUSTRALIA_BBOX.contains(t.location), "tweet at {}", t.location);
+            assert!(
+                AUSTRALIA_BBOX.contains(t.location),
+                "tweet at {}",
+                t.location
+            );
             assert!(
                 t.time.within(cfg.window_start, cfg.window_end),
                 "tweet at {}",
@@ -485,7 +481,10 @@ mod tests {
         // Every tweet scatters around the single place.
         for p in ds.points() {
             let d = haversine_km(one[0].area.center, *p);
-            assert!(d < one[0].radius_km * 4.0 + GPS_JITTER_KM * 4.0 + 1e-6, "d = {d}");
+            assert!(
+                d < one[0].radius_km * 4.0 + GPS_JITTER_KM * 4.0 + 1e-6,
+                "d = {d}"
+            );
         }
     }
 }

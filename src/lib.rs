@@ -25,7 +25,9 @@
 //! * [`epidemic`] — metapopulation SIR/SEIR over fitted mobility networks
 //!   (the paper's stated future-work application);
 //! * [`obs`] — structured spans, counters and pipeline metrics (the
-//!   instrumentation every stage above records into).
+//!   instrumentation every stage above records into);
+//! * [`par`] — the shared deterministic worker pool every parallel
+//!   stage dispatches on (`TWEETMOB_THREADS`, scoped overrides).
 //!
 //! ## Quickstart
 //!
@@ -51,5 +53,6 @@ pub use tweetmob_epidemic as epidemic;
 pub use tweetmob_geo as geo;
 pub use tweetmob_models as models;
 pub use tweetmob_obs as obs;
+pub use tweetmob_par as par;
 pub use tweetmob_stats as stats;
 pub use tweetmob_synth as synth;

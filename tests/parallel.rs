@@ -1,0 +1,117 @@
+//! Thread-count invariance of every parallel stage: the same inputs
+//! produce byte-identical JSON whether the shared pool runs on one
+//! worker or eight. This is the contract that lets `TWEETMOB_THREADS`
+//! (and `--threads`) change wall-clock time without changing a single
+//! published number.
+//!
+//! `with_threads` serialises callers on a global lock, so these tests
+//! are safe under the default parallel test runner.
+
+use tweetmob::core::{extract_trips, AreaSet, Experiment, Scale};
+use tweetmob::epidemic::{MobilityNetwork, OutbreakScenario};
+use tweetmob::models::{Gravity4Fit, GravityGrid};
+use tweetmob::par::with_threads;
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn config() -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 3_000;
+    cfg
+}
+
+/// Runs `f` at 1 and at 8 threads and asserts the serialised results
+/// are byte-identical.
+fn assert_thread_invariant<T: serde::Serialize>(stage: &str, f: impl Fn() -> T) {
+    let serial = serde_json::to_string(&with_threads(1, &f)).expect("serialize serial result");
+    let parallel = serde_json::to_string(&with_threads(8, &f)).expect("serialize parallel result");
+    assert_eq!(
+        serial, parallel,
+        "{stage}: results differ across thread counts"
+    );
+}
+
+#[test]
+fn synth_generation_is_thread_invariant() {
+    assert_thread_invariant("synth/generate", || {
+        let ds = TweetGenerator::new(config()).generate();
+        let coords: Vec<(u32, i64, u64, u64)> = ds
+            .iter_tweets()
+            .map(|t| {
+                (
+                    t.user.0,
+                    t.time.as_secs(),
+                    t.location.lat.to_bits(),
+                    t.location.lon.to_bits(),
+                )
+            })
+            .collect();
+        coords
+    });
+}
+
+#[test]
+fn trip_extraction_is_thread_invariant() {
+    let ds = TweetGenerator::new(config()).generate();
+    let areas = AreaSet::of_scale(Scale::National);
+    assert_thread_invariant("trips", || extract_trips(&ds, &areas));
+}
+
+#[test]
+fn population_estimation_is_thread_invariant() {
+    let ds = TweetGenerator::new(config()).generate();
+    let exp = Experiment::new(&ds);
+    assert_thread_invariant("population", || {
+        exp.population_correlation(Scale::National)
+            .expect("population correlation on the standard dataset")
+    });
+}
+
+#[test]
+fn gravity_grid_search_is_thread_invariant() {
+    let ds = TweetGenerator::new(config()).generate();
+    let exp = Experiment::new(&ds);
+    let report = with_threads(1, || {
+        exp.mobility(Scale::National).expect("mobility report")
+    });
+    let grid = GravityGrid::default();
+    assert_thread_invariant("gravity-grid", || {
+        Gravity4Fit::fit_grid(&report.observations, &grid).expect("grid search")
+    });
+}
+
+#[test]
+fn epidemic_replicates_are_thread_invariant() {
+    let net = MobilityNetwork::from_flows(
+        vec![100_000.0, 60_000.0, 40_000.0],
+        &[(0, 1, 5.0), (1, 0, 5.0), (1, 2, 2.0), (2, 1, 2.0)],
+        0.04,
+    )
+    .expect("network");
+    let scenario = OutbreakScenario::new(net, 0.5, 0.2).seed(0, 25.0);
+    assert_thread_invariant("epidemic/replicates", || {
+        scenario
+            .run_stochastic_replicates(90.0, 0.25, 7, 6)
+            .expect("validated scenario")
+    });
+}
+
+#[test]
+fn whole_experiment_is_thread_invariant() {
+    // The end-to-end composition: every stage above chained through
+    // `Experiment::mobility`, compared as one document.
+    let ds = TweetGenerator::new(config()).generate();
+    let exp = Experiment::new(&ds);
+    assert_thread_invariant("mobility", || {
+        let report = exp.mobility(Scale::National).expect("mobility report");
+        (
+            report.od_total,
+            format!("{:?}", report.gravity4),
+            format!("{:?}", report.gravity2),
+            report
+                .evaluations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+        )
+    });
+}
