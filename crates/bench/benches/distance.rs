@@ -1,5 +1,6 @@
 //! Ablation (DESIGN.md §6.2): haversine vs equirectangular distance in
-//! the extraction hot loop.
+//! the extraction hot loop, plus the `TrigPoint` batch pairwise kernel
+//! (DESIGN.md §11) against its scalar per-pair reference.
 //!
 //! The area-assignment pre-filter uses the equirectangular
 //! approximation; this bench quantifies what that buys per call.
@@ -8,7 +9,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
-use tweetmob_geo::{bearing_deg, destination, equirectangular_km, haversine_km, Point};
+use tweetmob_geo::{
+    bearing_deg, destination, equirectangular_km, haversine_km, pairwise_km, pairwise_km_direct,
+    Point, TrigPoint,
+};
 
 fn random_points(n: usize, seed: u64) -> Vec<(Point, Point)> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -74,9 +78,39 @@ fn bench_distance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The geometry-cache construction kernel: the upper triangle over a
+/// fixed point set through `TrigPoint` (per-point trig hoisted) vs the
+/// scalar per-pair haversine reference — outputs are bit-identical, so
+/// the delta is pure transcendental savings.
+fn bench_pairwise(c: &mut Criterion) {
+    let points: Vec<Point> = random_points(128, 11).into_iter().map(|(a, _)| a).collect();
+    let mut group = c.benchmark_group("pairwise");
+    group.bench_function("scalar_128", |b| {
+        b.iter(|| pairwise_km_direct(black_box(&points)))
+    });
+    group.bench_function("trigpoint_128", |b| {
+        b.iter(|| pairwise_km(black_box(&points)))
+    });
+    // The per-pair inner kernel alone, trig precomputed outside the loop
+    // — the steady-state cost once a cache row is being filled.
+    let trig: Vec<TrigPoint> = points.iter().copied().map(TrigPoint::new).collect();
+    group.bench_function("trigpoint_inner_128", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (i, a) in trig.iter().enumerate() {
+                for q in &trig[i + 1..] {
+                    acc += black_box(a).distance_km(black_box(q));
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_distance
+    targets = bench_distance, bench_pairwise
 }
 criterion_main!(benches);

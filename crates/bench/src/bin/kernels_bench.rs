@@ -1,0 +1,286 @@
+//! Old-vs-new kernel benchmark for the geometry cache PR.
+//!
+//! Times the two hot-path kernels against their pre-cache references,
+//! checks byte-equality of the outputs, and records the results into
+//! `BENCH_kernels.json` under the `"kernels"` key:
+//!
+//! * **pairwise** — building the shared pair geometry
+//!   ([`PairGeometry::build`]: `TrigPoint` triangle + mirrored rank
+//!   rows) vs the pre-PR construction (per-origin rows of scalar
+//!   `haversine_km` over *both* triangles, then a sort — the loop
+//!   `InterveningPopulation::build` and the epidemic network each ran
+//!   before the cache existed). Measured at the paper's own scale
+//!   (n = 20 areas, batched) and on a larger scatter, plus the isolated
+//!   triangle kernel ([`pairwise_km`] vs [`pairwise_km_direct`]).
+//! * **gravity-grid** — `Gravity4Fit::fit_grid` (columnar `FitColumns`
+//!   + closed-form run moments) vs `Gravity4Fit::fit_grid_reference`
+//!   (the pre-columnar per-observation loop), at 1/2/4/8 worker
+//!   threads.
+//!
+//! ```text
+//! cargo run --release -p tweetmob-bench --bin kernels_bench
+//! TWEETMOB_KERNELS_QUICK=1 cargo run --release -p tweetmob-bench --bin kernels_bench
+//! ```
+//!
+//! Quick mode shrinks the scatter and the thread list for CI. Timings
+//! are best-of-N over repeated runs to cut scheduler noise. The process
+//! exits 1 if any new-kernel output differs from its reference by even
+//! one bit — speed regressions are asserted by the CI job over the
+//! emitted JSON, not here, so a noisy laptop run still records honest
+//! numbers.
+
+use tweetmob_bench::{emit_bench_metrics_to, print_header, standard_dataset, BENCH_KERNELS_PATH};
+use tweetmob_core::{Experiment, Scale};
+use tweetmob_geo::{haversine_km, pairwise_km, pairwise_km_direct, PairGeometry, Point};
+use tweetmob_models::{Gravity4Fit, GravityGrid};
+use tweetmob_obs::MetricsRegistry;
+
+/// Runs `run` once as warm-up, then `reps` timed repetitions under the
+/// private stopwatch; returns the fastest repetition's nanoseconds
+/// (the span's `min_ns`) and the last result. `name` must be unique
+/// per measurement so reps from different kernels never share a span.
+fn best_of<T>(
+    stopwatch: &MetricsRegistry,
+    name: &str,
+    reps: usize,
+    mut run: impl FnMut() -> T,
+) -> (u64, T) {
+    let mut result = run(); // warm-up
+    for _ in 0..reps.max(1) {
+        let _timer = stopwatch.span(name);
+        result = run();
+    }
+    let best = stopwatch.span_stat(name).map_or(u64::MAX, |s| s.min_ns);
+    (best, result)
+}
+
+fn speedup(old_ns: u64, new_ns: u64) -> f64 {
+    if new_ns > 0 {
+        old_ns as f64 / new_ns as f64
+    } else {
+        0.0
+    }
+}
+
+/// Deterministic point scatter over the Australian bounding box (the
+/// same LCG the geo cache tests use, so no RNG dependency).
+fn scatter(count: usize, seed: u64) -> Vec<Point> {
+    let mut k = seed;
+    let mut next = |lo: f64, hi: f64| {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+        lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    };
+    (0..count)
+        .map(|_| Point::new_unchecked(next(-44.0, -10.0), next(113.0, 154.0)))
+        .collect()
+}
+
+/// The pre-PR pair-geometry construction, verbatim: per-origin rank
+/// rows via scalar `haversine_km` over both triangles, sorted.
+fn pre_pr_rows(points: &[Point]) -> Vec<Vec<(f64, usize)>> {
+    let n = points.len();
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (haversine_km(points[i], points[j]), j))
+                .collect();
+            row.sort_by(|a, b| a.0.total_cmp(&b.0));
+            row
+        })
+        .collect()
+}
+
+/// Bit-and-order equality between the cache's rank rows and the pre-PR
+/// rows.
+fn rows_identical(geo: &PairGeometry, rows: &[Vec<(f64, usize)>]) -> bool {
+    geo.len() == rows.len()
+        && (0..geo.len()).all(|i| {
+            let a = geo.ranked(i);
+            let b = &rows[i];
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.0.to_bits() == y.0.to_bits() && x.1 == y.1)
+        })
+}
+
+fn main() {
+    let quick = std::env::var_os("TWEETMOB_KERNELS_QUICK").is_some();
+    let (cfg, ds) = standard_dataset();
+    print_header(
+        if quick {
+            "KERNELS BENCH (quick) — geometry cache vs scalar reference"
+        } else {
+            "KERNELS BENCH — geometry cache vs scalar reference"
+        },
+        &cfg,
+        &ds,
+    );
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Private always-on stopwatch, the same idiom as
+    // `measure_instrumentation_overhead`: wall-clock stays inside
+    // `tweetmob-obs` and out of any result-producing path.
+    let stopwatch = MetricsRegistry::new();
+    let mut mismatch = false;
+
+    // --- Kernel 1a: construction at the paper's scale (n = 20) --------
+    // One build is microseconds, so a rep is a batch of builds and the
+    // reported ns are per build.
+    let paper_points = scatter(20, 0xA5);
+    let batch: u32 = if quick { 500 } else { 2000 };
+    let (paper_old_ns, paper_rows) = best_of(&stopwatch, "paper/pre_pr", 3, || {
+        let mut rows = Vec::new();
+        for _ in 0..batch {
+            rows = pre_pr_rows(&paper_points);
+        }
+        rows
+    });
+    let (paper_new_ns, paper_geo) = best_of(&stopwatch, "paper/cache", 3, || {
+        let mut geo = PairGeometry::build(&paper_points[..1]);
+        for _ in 0..batch {
+            geo = PairGeometry::build(&paper_points);
+        }
+        geo
+    });
+    let paper_identical = rows_identical(&paper_geo, &paper_rows);
+    mismatch |= !paper_identical;
+    let (paper_old_ns, paper_new_ns) = (
+        paper_old_ns / u64::from(batch),
+        paper_new_ns / u64::from(batch),
+    );
+    println!(
+        "  construction @ paper scale (20 areas)   pre-PR {paper_old_ns:>9} ns/build   cache {paper_new_ns:>9} ns/build   speedup {:>5.2}x   identical: {paper_identical}",
+        speedup(paper_old_ns, paper_new_ns),
+    );
+
+    // --- Kernel 1b: construction on a larger scatter ------------------
+    let n_points = if quick { 400 } else { 1000 };
+    let points = scatter(n_points, 0xA5);
+    let (cons_old_ns, cons_rows) = best_of(&stopwatch, "construction/pre_pr", 5, || {
+        pre_pr_rows(&points)
+    });
+    let (cons_new_ns, cons_geo) = best_of(&stopwatch, "construction/cache", 5, || {
+        PairGeometry::build(&points)
+    });
+    let cons_identical = rows_identical(&cons_geo, &cons_rows);
+    mismatch |= !cons_identical;
+    println!(
+        "  construction ({n_points} pts)   pre-PR {cons_old_ns:>12} ns   cache {cons_new_ns:>12} ns   speedup {:>5.2}x   identical: {cons_identical}",
+        speedup(cons_old_ns, cons_new_ns),
+    );
+
+    // --- Kernel 1c: the isolated triangle kernel ----------------------
+    let (direct_ns, direct_tri) = best_of(&stopwatch, "triangle/direct", 5, || {
+        pairwise_km_direct(&points)
+    });
+    let (trig_ns, trig_tri) = best_of(&stopwatch, "triangle/trig", 5, || pairwise_km(&points));
+    let tri_identical = direct_tri.len() == trig_tri.len()
+        && direct_tri
+            .iter()
+            .zip(&trig_tri)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    mismatch |= !tri_identical;
+    println!(
+        "  triangle kernel ({n_points} pts, {} pairs)   scalar {direct_ns:>12} ns   trig {trig_ns:>12} ns   speedup {:>5.2}x   identical: {tri_identical}",
+        direct_tri.len(),
+        speedup(direct_ns, trig_ns),
+    );
+    let pair_identical = paper_identical && cons_identical && tri_identical;
+    let pairwise = serde_json::json!({
+        "identical": pair_identical,
+        "speedup": speedup(paper_old_ns, paper_new_ns),
+        "paper_scale": {
+            "n_points": 20,
+            "builds_per_rep": batch,
+            "old_ns": paper_old_ns,
+            "new_ns": paper_new_ns,
+            "speedup": speedup(paper_old_ns, paper_new_ns),
+            "identical": paper_identical,
+        },
+        "construction": {
+            "n_points": n_points,
+            "old_ns": cons_old_ns,
+            "new_ns": cons_new_ns,
+            "speedup": speedup(cons_old_ns, cons_new_ns),
+            "identical": cons_identical,
+        },
+        "triangle": {
+            "n_points": n_points,
+            "n_pairs": direct_tri.len(),
+            "direct_ns": direct_ns,
+            "trig_ns": trig_ns,
+            "speedup": speedup(direct_ns, trig_ns),
+            "identical": tri_identical,
+        },
+    });
+
+    // --- Kernel 2: gravity 4-parameter grid search --------------------
+    // Observations are assembled once, outside the timed region; both
+    // fitters then chew the same slice over the default lattice.
+    let exp = Experiment::new(&ds);
+    let report = exp
+        .mobility(Scale::National)
+        .expect("mobility report on the standard dataset");
+    let grid = GravityGrid::default();
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut per_thread = serde_json::Map::new();
+    let mut baseline_fit: Option<String> = None;
+    for &t in thread_counts {
+        let (reference_ns, reference) =
+            best_of(&stopwatch, &format!("gravity/{t}/reference"), 3, || {
+                tweetmob_par::with_threads(t, || {
+                    Gravity4Fit::fit_grid_reference(&report.observations, &grid)
+                })
+            });
+        let (columnar_ns, columnar) =
+            best_of(&stopwatch, &format!("gravity/{t}/columnar"), 3, || {
+                tweetmob_par::with_threads(t, || Gravity4Fit::fit_grid(&report.observations, &grid))
+            });
+        let reference =
+            serde_json::to_string(&reference.expect("reference grid fit")).expect("fit serializes");
+        let columnar =
+            serde_json::to_string(&columnar.expect("columnar grid fit")).expect("fit serializes");
+        // Bit-identical to the reference at this thread count, and to
+        // every other thread count's result.
+        let identical = reference == columnar
+            && *baseline_fit.get_or_insert_with(|| columnar.clone()) == columnar;
+        mismatch |= !identical;
+        println!(
+            "  gravity-grid @{t} thread(s)   reference {reference_ns:>12} ns   columnar {columnar_ns:>12} ns   speedup {:>5.2}x   identical: {identical}",
+            speedup(reference_ns, columnar_ns),
+        );
+        per_thread.insert(
+            t.to_string(),
+            serde_json::json!({
+                "reference_ns": reference_ns,
+                "columnar_ns": columnar_ns,
+                "speedup": speedup(reference_ns, columnar_ns),
+                "identical": identical,
+            }),
+        );
+    }
+
+    let notes = serde_json::json!({
+        "pairwise": pairwise,
+        "gravity_grid": {
+            "n_observations": report.observations.len(),
+            "threads": per_thread,
+        },
+        "threads_tested": thread_counts,
+        "host_parallelism": host,
+        "quick": quick,
+        "n_users": ds.n_users(),
+        "n_tweets": ds.n_tweets(),
+    });
+    if let Err(e) = emit_bench_metrics_to(BENCH_KERNELS_PATH, "kernels", notes) {
+        eprintln!("failed to write {BENCH_KERNELS_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {BENCH_KERNELS_PATH}");
+    if mismatch {
+        eprintln!("error: a kernel produced output differing from its scalar reference");
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,11 @@ use tweetmob_synth::{GeneratorConfig, TweetGenerator};
 /// metrics (spans, counters, histograms) from the global registry.
 pub const BENCH_METRICS_PATH: &str = "BENCH_pipeline.json";
 
+/// The kernel-benchmark document `kernels_bench` writes: old-vs-new
+/// timings for the pairwise-distance construction and the gravity grid
+/// search at several thread counts, plus byte-equality verdicts.
+pub const BENCH_KERNELS_PATH: &str = "BENCH_kernels.json";
+
 /// Builds the standard experiment dataset, honouring the
 /// `TWEETMOB_USERS` / `TWEETMOB_SEED` environment knobs.
 pub fn standard_dataset() -> (GeneratorConfig, TweetDataset) {
@@ -61,7 +66,22 @@ fn env_u64(name: &str) -> Option<u64> {
 ///
 /// Propagates file-system failures.
 pub fn emit_bench_metrics(bin_name: &str, extra: serde_json::Value) -> std::io::Result<()> {
-    let mut doc: serde_json::Value = std::fs::read_to_string(BENCH_METRICS_PATH)
+    emit_bench_metrics_to(BENCH_METRICS_PATH, bin_name, extra)
+}
+
+/// As [`emit_bench_metrics`] but into an explicit document path, for
+/// benches with their own artifact (e.g. `kernels_bench` →
+/// [`BENCH_KERNELS_PATH`]).
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn emit_bench_metrics_to(
+    path: &str,
+    bin_name: &str,
+    extra: serde_json::Value,
+) -> std::io::Result<()> {
+    let mut doc: serde_json::Value = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok())
         .filter(serde_json::Value::is_object)
@@ -76,7 +96,7 @@ pub fn emit_bench_metrics(bin_name: &str, extra: serde_json::Value) -> std::io::
     let mut text = serde_json::to_string_pretty(&doc)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     text.push('\n');
-    std::fs::write(BENCH_METRICS_PATH, text)
+    std::fs::write(path, text)
 }
 
 /// Times `workload` once with the global registry enabled and once

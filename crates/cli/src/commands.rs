@@ -16,7 +16,7 @@ type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
 pub fn export(args: &Args) -> Result<()> {
     let ds = dataset_arg(args)?;
     let out_path = args.positional(1).ok_or("missing output path")?;
-    let exp = Experiment::new(&ds);
+    let exp = experiment(args, &ds);
     let mut scales = Vec::new();
     for scale in Scale::ALL {
         let population = exp.population_correlation(scale)?;
@@ -105,6 +105,13 @@ fn dataset_arg(args: &Args) -> Result<TweetDataset> {
     load(path)
 }
 
+/// Builds the experiment runner honouring `--no-geometry-cache`.
+fn experiment<'a>(args: &Args, ds: &'a TweetDataset) -> Experiment<'a> {
+    let mut exp = Experiment::new(ds);
+    exp.set_geometry_cache(!args.has(crate::args::NO_GEO_CACHE));
+    exp
+}
+
 fn scale_arg(args: &Args) -> Result<Scale> {
     match args.get("scale").unwrap_or("national") {
         "national" => Ok(Scale::National),
@@ -150,7 +157,7 @@ pub fn population(args: &Args) -> Result<()> {
     let ds = dataset_arg(args)?;
     let scale = scale_arg(args)?;
     let radius = args.get_parsed("radius", scale.search_radius_km())?;
-    let exp = Experiment::new(&ds);
+    let exp = experiment(args, &ds);
     let pop = exp.population_correlation_with_radius(scale, radius)?;
     println!("{} scale, ε = {radius} km", scale.name());
     println!("{pop}");
@@ -166,7 +173,7 @@ pub fn mobility(args: &Args) -> Result<()> {
     } else {
         PopulationSource::Twitter
     };
-    let exp = Experiment::new(&ds);
+    let exp = experiment(args, &ds);
     let report = exp.mobility_with(&AreaSet::of_scale(scale), source, scale.name().to_string())?;
     print!("{report}");
     if args.has("extended") {
@@ -192,7 +199,8 @@ pub fn epidemic(args: &Args) -> Result<()> {
 
     // Fit gravity on national flows and build the network over census
     // populations (the paper's proposed pipeline).
-    let exp = Experiment::new(&ds);
+    let use_cache = !args.has(crate::args::NO_GEO_CACHE);
+    let exp = experiment(args, &ds);
     let report = exp.mobility(Scale::National)?;
     let areas = AreaSet::of_scale(Scale::National);
     let seed_patch = areas
@@ -203,11 +211,15 @@ pub fn epidemic(args: &Args) -> Result<()> {
 
     let populations = areas.census_populations();
     let n = areas.len();
-    let distances: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| areas.distance_km(i, j)).collect())
-        .collect();
     let centers = areas.centers();
-    let calc = InterveningPopulation::build(&centers, &populations);
+    // The epidemic network reuses the geometry the mobility fit already
+    // built; --no-geometry-cache falls back to the scalar path plus the
+    // dense-rows network constructor (bit-identical output).
+    let calc = if use_cache {
+        InterveningPopulation::from_geometry(std::sync::Arc::clone(areas.geometry()), &populations)
+    } else {
+        InterveningPopulation::build_direct(&centers, &populations)
+    };
     let intervening: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             (0..n)
@@ -215,13 +227,30 @@ pub fn epidemic(args: &Args) -> Result<()> {
                 .collect()
         })
         .collect();
-    let network = MobilityNetwork::from_model(
-        &report.gravity2,
-        populations,
-        &distances,
-        &intervening,
-        0.02,
-    )?;
+    let network = if use_cache {
+        MobilityNetwork::from_model_geometry(
+            &report.gravity2,
+            populations,
+            areas.geometry(),
+            &intervening,
+            0.02,
+        )?
+    } else {
+        let distances: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| tweetmob_geo::haversine_km(centers[i], centers[j]))
+                    .collect()
+            })
+            .collect();
+        MobilityNetwork::from_model(
+            &report.gravity2,
+            populations,
+            &distances,
+            &intervening,
+            0.02,
+        )?
+    };
 
     let mut scenario = OutbreakScenario::new(network, beta, gamma).seed(seed_patch, 20.0);
     let immune: f64 = args.get_parsed("immune", 0.0)?;

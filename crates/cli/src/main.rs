@@ -58,6 +58,10 @@ GLOBAL FLAGS (accepted by every command):
     --threads N              worker threads for parallel stages
                              (overrides TWEETMOB_THREADS; results are
                              identical at every thread count)
+    --no-geometry-cache      assemble observations through the scalar
+                             per-pair distance path instead of the shared
+                             geometry cache (A/B escape hatch; results
+                             are bit-identical either way)
 ";
 
 fn main() {
@@ -105,7 +109,8 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         }
         other => return Err(format!("unknown command {other:?}").into()),
     };
-    // Every subcommand also accepts --metrics-out, --trace, --threads.
+    // Every subcommand also accepts --metrics-out, --trace, --threads,
+    // --no-geometry-cache.
     let args = Args::parse_with_observability(rest, valued, switches)?;
     if let Some(n) = args.get(args::THREADS) {
         let n: usize = n

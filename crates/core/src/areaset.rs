@@ -1,6 +1,7 @@
 //! Study scales and area sets with point-to-area assignment.
 
-use tweetmob_geo::{equirectangular_km, haversine_km, Point};
+use std::sync::Arc;
+use tweetmob_geo::{equirectangular_km, haversine_km, PairGeometry, Point};
 use tweetmob_synth::{Area, NATIONAL_TOP20, NSW_TOP20, SYDNEY_SUBURBS_TOP20};
 
 /// The paper's three geographic scales (§III).
@@ -52,8 +53,9 @@ impl Scale {
 pub struct AreaSet {
     areas: Vec<Area>,
     radius_km: f64,
-    /// Precomputed pairwise centre distances, row-major.
-    distances: Vec<f64>,
+    /// Build-once pairwise centre geometry, shared with every model
+    /// consumer (observations, intervening population, epidemic network).
+    geometry: Arc<PairGeometry>,
 }
 
 impl AreaSet {
@@ -76,19 +78,12 @@ impl AreaSet {
     pub fn new(areas: Vec<Area>, radius_km: f64) -> Self {
         assert!(!areas.is_empty(), "area set cannot be empty");
         assert!(radius_km > 0.0, "search radius must be positive");
-        let n = areas.len();
-        let mut distances = vec![0.0; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = haversine_km(areas[i].center, areas[j].center);
-                distances[i * n + j] = d;
-                distances[j * n + i] = d;
-            }
-        }
+        let centers: Vec<Point> = areas.iter().map(|a| a.center).collect();
+        let geometry = PairGeometry::shared(&centers);
         Self {
             areas,
             radius_km,
-            distances,
+            geometry,
         }
     }
 
@@ -124,7 +119,13 @@ impl AreaSet {
     #[inline]
     pub fn distance_km(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.len() && j < self.len(), "area index out of range");
-        self.distances[i * self.len() + j]
+        self.geometry.distance(i, j)
+    }
+
+    /// The shared pairwise geometry cache over the area centres.
+    #[inline]
+    pub fn geometry(&self) -> &Arc<PairGeometry> {
+        &self.geometry
     }
 
     /// Mean pairwise centre distance (the paper quotes 1422 / 341 /
@@ -134,13 +135,10 @@ impl AreaSet {
         if n < 2 {
             return 0.0;
         }
-        let mut sum = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                sum += self.distances[i * n + j];
-            }
-        }
-        sum / (n * (n - 1) / 2) as f64
+        // The cached upper triangle is stored in the same row-major
+        // i < j order the pre-cache loop summed in, so this stays
+        // bit-identical to the old implementation.
+        self.geometry.total_distance_km() / (n * (n - 1) / 2) as f64
     }
 
     /// Assigns a point to the nearest area whose centre is within ε, or
@@ -253,6 +251,21 @@ mod tests {
             assert_eq!(set.distance_km(i, i), 0.0);
             for j in 0..set.len() {
                 assert_eq!(set.distance_km(i, j), set.distance_km(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_cache_matches_distance_accessor() {
+        let set = AreaSet::of_scale(Scale::State);
+        let geo = set.geometry();
+        assert_eq!(geo.len(), set.len());
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                assert_eq!(
+                    set.distance_km(i, j).to_bits(),
+                    geo.distance(i, j).to_bits()
+                );
             }
         }
     }

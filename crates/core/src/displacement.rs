@@ -10,7 +10,7 @@
 
 use serde::Serialize;
 use tweetmob_data::TweetDataset;
-use tweetmob_geo::haversine_km;
+use tweetmob_geo::TrigPoint;
 use tweetmob_stats::binning::{BinStat, LogBins};
 use tweetmob_stats::powerlaw::{fit_alpha, PowerLawFit};
 use tweetmob_stats::StatsError;
@@ -45,14 +45,25 @@ pub struct DisplacementProfile {
 }
 
 /// Extracts all positive consecutive-tweet displacements, per user.
+///
+/// Each point's trigonometry is hoisted into a [`TrigPoint`] once and
+/// reused for both the jump into and out of it — interior points of a
+/// user's trace would otherwise pay the degree→radian and cosine work
+/// twice. Distances stay bit-identical to per-pair
+/// [`haversine_km`](tweetmob_geo::haversine_km).
 pub fn displacements_km(dataset: &TweetDataset) -> Vec<f64> {
     let mut out = Vec::new();
     for view in dataset.iter_users() {
-        for w in view.points.windows(2) {
-            let d = haversine_km(w[0], w[1]);
-            if d > 0.0 {
-                out.push(d);
+        let mut prev: Option<TrigPoint> = None;
+        for &p in view.points {
+            let cur = TrigPoint::new(p);
+            if let Some(last) = prev {
+                let d = last.distance_km(&cur);
+                if d > 0.0 {
+                    out.push(d);
+                }
             }
+            prev = Some(cur);
         }
     }
     out

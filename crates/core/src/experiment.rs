@@ -138,6 +138,7 @@ impl From<ModelError> for ExperimentError {
 pub struct Experiment<'a> {
     dataset: &'a TweetDataset,
     index: GridIndex,
+    geometry_cache: bool,
 }
 
 impl<'a> Experiment<'a> {
@@ -145,7 +146,25 @@ impl<'a> Experiment<'a> {
     /// the paper uses).
     pub fn new(dataset: &'a TweetDataset) -> Self {
         let index = GridIndex::build(dataset.points().to_vec(), 0.2);
-        Self { dataset, index }
+        Self {
+            dataset,
+            index,
+            geometry_cache: true,
+        }
+    }
+
+    /// Toggles the shared pairwise-geometry cache (`--no-geometry-cache`
+    /// escape hatch). When off, observations are assembled through the
+    /// scalar per-pair distance path; results are bit-identical either
+    /// way — the toggle exists for A/B benchmarking and as a fallback.
+    pub fn set_geometry_cache(&mut self, enabled: bool) -> &mut Self {
+        self.geometry_cache = enabled;
+        self
+    }
+
+    /// Whether the pairwise-geometry cache is enabled (default: true).
+    pub fn geometry_cache(&self) -> bool {
+        self.geometry_cache
     }
 
     /// The underlying dataset.
@@ -236,7 +255,7 @@ impl<'a> Experiment<'a> {
                 .set(i64::try_from(areas.len() * areas.len()).unwrap_or(i64::MAX));
             tweetmob_obs::gauge!("odmatrix/nonzero_pairs")
                 .set(i64::try_from(od.nonzero_pairs()).unwrap_or(i64::MAX));
-            build_observations(areas, &populations, &od)
+            build_observations(areas, &populations, &od, self.geometry_cache)
         };
         let gravity4 = Gravity4Fit::fit(&observations)?;
         let gravity2 = Gravity2Fit::fit(&observations)?;
@@ -283,19 +302,41 @@ impl<'a> Experiment<'a> {
 /// from `populations`, `d` from centre distances, `s` from the
 /// intervening-population structure over the same population vector, `T`
 /// from the OD matrix.
-fn build_observations(areas: &AreaSet, populations: &[f64], od: &OdMatrix) -> Vec<FlowObservation> {
+///
+/// With `use_cache` the distances and rank lists come from the area
+/// set's shared [`PairGeometry`](tweetmob_geo::PairGeometry); without it
+/// everything is recomputed through the scalar per-pair path. The two
+/// paths produce bit-identical observations (asserted by the
+/// `geometry_equivalence` suite).
+fn build_observations(
+    areas: &AreaSet,
+    populations: &[f64],
+    od: &OdMatrix,
+    use_cache: bool,
+) -> Vec<FlowObservation> {
     use tweetmob_stats::check::{debug_assert_finite_slice, debug_assert_nonneg};
     // This is where integer OD counts and estimated populations become
     // the floats every downstream fit consumes — the last place a NaN or
     // negative estimate can be caught near its source.
     debug_assert_finite_slice(populations, "area populations");
     let centers = areas.centers();
-    let intervening = InterveningPopulation::build(&centers, populations);
+    let intervening = if use_cache {
+        InterveningPopulation::from_geometry(std::sync::Arc::clone(areas.geometry()), populations)
+    } else {
+        InterveningPopulation::build_direct(&centers, populations)
+    };
+    let distance = |i: usize, j: usize| {
+        if use_cache {
+            areas.distance_km(i, j)
+        } else {
+            tweetmob_geo::haversine_km(centers[i], centers[j])
+        }
+    };
     od.iter_pairs()
         .map(|(i, j, count)| FlowObservation {
             origin_population: debug_assert_nonneg(populations[i], "origin population"),
             dest_population: debug_assert_nonneg(populations[j], "destination population"),
-            distance_km: debug_assert_nonneg(areas.distance_km(i, j), "pair distance"),
+            distance_km: debug_assert_nonneg(distance(i, j), "pair distance"),
             intervening_population: debug_assert_nonneg(
                 intervening.s(i, j),
                 "intervening population",
@@ -426,6 +467,21 @@ mod tests {
                 g2.pearson
             );
         }
+    }
+
+    #[test]
+    fn geometry_cache_toggle_is_bit_identical() {
+        let ds = medium();
+        let cached = Experiment::new(ds).mobility(Scale::National).unwrap();
+        let mut exp = Experiment::new(ds);
+        assert!(exp.geometry_cache());
+        exp.set_geometry_cache(false);
+        assert!(!exp.geometry_cache());
+        let direct = exp.mobility(Scale::National).unwrap();
+        assert_eq!(
+            serde_json::to_string(&cached).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use serde::Serialize;
 use std::fmt;
+use tweetmob_geo::PairGeometry;
 use tweetmob_models::{FlowObservation, MobilityModel};
 
 /// Errors building a mobility network.
@@ -135,6 +136,48 @@ impl MobilityNetwork {
                     origin_population: populations[i],
                     dest_population: populations[j],
                     distance_km: distances[i][j],
+                    intervening_population: intervening[i][j],
+                    observed_flow: 0.0,
+                };
+                let p = model.predict(&obs);
+                if p.is_finite() && p > 0.0 {
+                    flows.push((i, j, p));
+                }
+            }
+        }
+        Self::from_flows(populations, &flows, leave_rate)
+    }
+
+    /// As [`MobilityNetwork::from_model`], but with pair distances drawn
+    /// from a shared [`PairGeometry`] cache instead of caller-assembled
+    /// dense rows — the epidemic pipeline reuses the geometry the
+    /// mobility fit already built rather than recomputing n² haversines.
+    ///
+    /// # Errors
+    ///
+    /// As [`MobilityNetwork::from_flows`], plus [`NetworkError::BadFlow`]
+    /// when the geometry does not cover every patch.
+    pub fn from_model_geometry<M: MobilityModel>(
+        model: &M,
+        populations: Vec<f64>,
+        geometry: &PairGeometry,
+        intervening: &[Vec<f64>],
+        leave_rate: f64,
+    ) -> Result<Self, NetworkError> {
+        let n = populations.len();
+        if geometry.len() != n || intervening.len() != n {
+            return Err(NetworkError::BadFlow("geometry does not cover all patches"));
+        }
+        let mut flows = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let obs = FlowObservation {
+                    origin_population: populations[i],
+                    dest_population: populations[j],
+                    distance_km: geometry.distance(i, j),
                     intervening_population: intervening[i][j],
                     observed_flow: 0.0,
                 };
@@ -299,5 +342,54 @@ mod tests {
         // From patch 0: rate to 1 should dominate 100:1.
         assert!(net.rate(0, 1) / net.rate(0, 2) > 50.0);
         assert!((net.leave_rate(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_model_geometry_matches_dense_rows() {
+        use tweetmob_geo::Point;
+        use tweetmob_models::Gravity2Fit;
+        let model = Gravity2Fit {
+            c: 1.0,
+            gamma: 2.0,
+            log_r_squared: 1.0,
+            n_used: 0,
+        };
+        let centers = vec![
+            Point::new_unchecked(-33.8688, 151.2093),
+            Point::new_unchecked(-37.8136, 144.9631),
+            Point::new_unchecked(-27.4698, 153.0251),
+        ];
+        let geo = PairGeometry::build(&centers);
+        let pops = vec![1_000.0, 2_000.0, 3_000.0];
+        let s = vec![vec![0.0; 3]; 3];
+        let dense = geo.dense_rows();
+        let a = MobilityNetwork::from_model(&model, pops.clone(), &dense, &s, 0.1).unwrap();
+        let b = MobilityNetwork::from_model_geometry(&model, pops, &geo, &s, 0.1).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.rate(i, j).to_bits(), b.rate(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_model_geometry_rejects_size_mismatch() {
+        use tweetmob_geo::Point;
+        use tweetmob_models::Gravity2Fit;
+        let model = Gravity2Fit {
+            c: 1.0,
+            gamma: 2.0,
+            log_r_squared: 1.0,
+            n_used: 0,
+        };
+        let geo = PairGeometry::build(&[
+            Point::new_unchecked(0.0, 100.0),
+            Point::new_unchecked(0.0, 101.0),
+        ]);
+        let s = vec![vec![0.0; 3]; 3];
+        assert!(matches!(
+            MobilityNetwork::from_model_geometry(&model, vec![1.0, 1.0, 1.0], &geo, &s, 0.1),
+            Err(NetworkError::BadFlow(_))
+        ));
     }
 }

@@ -120,6 +120,28 @@ mod tests {
     }
 
     #[test]
+    fn haversine_near_antipodal_never_nan() {
+        // Regression: without the [0, 1] clamp on h, rounding at points
+        // a hair short of the exact antipode can push h above 1 and
+        // sqrt().asin() returns NaN. Perturb the antipode by ±1e-12°
+        // on each axis and require a finite distance at (or just under)
+        // half the circumference.
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        for (lat, lon) in [(0.0, 0.0), (10.0, 20.0), (-33.8688, 151.2093)] {
+            let a = Point::new_unchecked(lat, lon);
+            let anti_lon = if lon > 0.0 { lon - 180.0 } else { lon + 180.0 };
+            for dlat in [-1e-12, 0.0, 1e-12] {
+                for dlon in [-1e-12, 0.0, 1e-12] {
+                    let b = Point::new_unchecked(-lat + dlat, anti_lon + dlon);
+                    let d = haversine_km(a, b);
+                    assert!(d.is_finite(), "NaN at antipode of ({lat}, {lon})");
+                    assert!((d - half).abs() < 1e-3, "d {d} vs half {half}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn haversine_one_degree_latitude_is_about_111km() {
         let a = Point::new_unchecked(-30.0, 150.0);
         let b = Point::new_unchecked(-31.0, 150.0);

@@ -15,7 +15,11 @@
 //!   which answers radius, k-nearest-neighbour and bounding-box queries
 //!   over millions of points;
 //! * **density rasterisation** for the paper's Figure 1 tweet-density map
-//!   ([`DensityGrid`]).
+//!   ([`DensityGrid`]);
+//! * a **columnar geometry cache** for the model-fitting path —
+//!   [`TrigPoint`] hoists per-point trigonometry out of pair loops and
+//!   [`PairGeometry`] holds the build-once pairwise distance matrix and
+//!   per-origin distance rankings, bit-identical to [`haversine_km`].
 //!
 //! All distances are in kilometres, all angles in degrees unless a function
 //! name says otherwise. Latitude is constrained to `[-90, 90]` and
@@ -43,6 +47,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 mod bbox;
+mod cache;
 mod density;
 mod distance;
 mod grid;
@@ -50,6 +55,7 @@ mod point;
 mod polygon;
 
 pub use bbox::{BoundingBox, AUSTRALIA_BBOX};
+pub use cache::{pairwise_km, pairwise_km_direct, PairGeometry, TrigPoint};
 pub use density::{DensityCell, DensityGrid};
 pub use distance::{
     bearing_deg, destination, equirectangular_km, haversine_km, EARTH_RADIUS_KM,

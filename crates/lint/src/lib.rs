@@ -30,6 +30,11 @@
 //!   `crossbeam` outside `tweetmob-par`: every parallel stage dispatches
 //!   on the shared worker pool so thread-count policy, gauges and the
 //!   determinism contract live in one place.
+//! * **`raw-haversine`** — no direct `haversine_km` calls in the
+//!   model-fitting crates (`models`, `epidemic`): pairwise distances
+//!   there route through the shared `PairGeometry` cache so the hot path
+//!   never recomputes transcendentals and the `cache/pairgeo/*` metrics
+//!   stay honest.
 //!
 //! Any finding can be suppressed with an explicit, justified annotation on
 //! the same or the preceding line:
@@ -74,7 +79,13 @@ const CAST_STRICT_CRATES: &[&str] = &[
     "tweetmob-geo",
 ];
 
-/// The six rule families.
+/// Crates whose library code must take pairwise distances from the shared
+/// `PairGeometry` cache rather than calling `haversine_km` per pair: these
+/// sit on the model-fitting hot path, where a stray scalar call silently
+/// reintroduces the O(n²) transcendental cost the cache exists to remove.
+const GEOMETRY_CACHE_CRATES: &[&str] = &["tweetmob-models", "tweetmob-epidemic"];
+
+/// The seven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Crate root missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
@@ -89,6 +100,8 @@ pub enum Rule {
     LossyCast,
     /// Raw thread spawn outside the shared `tweetmob-par` worker pool.
     ParLayer,
+    /// Scalar `haversine_km` call in a crate that must use the geometry cache.
+    RawHaversine,
 }
 
 impl Rule {
@@ -102,6 +115,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::LossyCast => "lossy-cast",
             Rule::ParLayer => "par-layer",
+            Rule::RawHaversine => "raw-haversine",
         }
     }
 }
@@ -185,6 +199,9 @@ pub fn lint_source(label: &str, crate_name: &str, kind: FileKind, source: &str) 
     }
     if crate_name != "tweetmob-par" {
         check_par_layer(label, code, &in_test, &mut out);
+    }
+    if kind.is_library() && GEOMETRY_CACHE_CRATES.contains(&crate_name) {
+        check_raw_haversine(label, code, &in_test, &mut out);
     }
 
     out.retain(|d| !is_allowed(&raw_lines, d.line, d.rule));
@@ -1100,6 +1117,38 @@ fn check_par_layer(
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: pairwise distances come from the geometry cache.
+// ---------------------------------------------------------------------------
+
+/// Rejects direct `haversine_km` calls in the model-fitting crates.
+/// `PairGeometry` builds the full pairwise triangle once and shares it;
+/// a scalar call in `models` or `epidemic` library code reintroduces the
+/// per-pair transcendental cost on the hot path and bypasses the
+/// `cache/pairgeo/hits` accounting. Test code may call it freely — the
+/// equality fixtures compare the cache against exactly this function.
+fn check_raw_haversine(
+    label: &str,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for off in find_token(code, "haversine_km") {
+        if in_test(off) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: label.to_string(),
+            line: line_of(code, off),
+            rule: Rule::RawHaversine,
+            message: "`haversine_km` on the model-fitting hot path: take distances from \
+                      `tweetmob_geo::PairGeometry` (build once, share the triangle) so \
+                      transcendentals are not recomputed per pair"
+                .to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reporting helpers used by the binary.
 // ---------------------------------------------------------------------------
 
@@ -1414,6 +1463,52 @@ mod tests {
                    std::thread::spawn(|| {});\n}\n";
         let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, src);
         assert!(d.iter().all(|d| d.rule != Rule::ParLayer), "{d:?}");
+    }
+
+    // -- raw-haversine -----------------------------------------------------
+
+    #[test]
+    fn raw_haversine_fires_in_model_fitting_crates_only() {
+        let bad = "use tweetmob_geo::haversine_km;\n\
+                   fn f(a: Point, b: Point) -> f64 { haversine_km(a, b) }\n";
+        for crate_name in ["tweetmob-models", "tweetmob-epidemic"] {
+            let d = lint_source("m.rs", crate_name, FileKind::Library, bad);
+            assert_eq!(rules(&d), vec![Rule::RawHaversine, Rule::RawHaversine]);
+            assert_eq!(d[0].line, 1);
+            assert_eq!(d[1].line, 2);
+            assert!(d[0].message.contains("PairGeometry"), "{}", d[0].message);
+        }
+        // The geo crate defines the function; core/synth route through the
+        // cache by convention but keep the scalar path for construction.
+        for crate_name in ["tweetmob-geo", "tweetmob-core", "tweetmob-synth"] {
+            let d = lint_source("m.rs", crate_name, FileKind::Library, bad);
+            assert!(d.iter().all(|d| d.rule != Rule::RawHaversine), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn raw_haversine_ignores_tests_comments_and_binaries() {
+        let good = "/// The cache agrees with the scalar haversine_km path.\n\
+                    fn f() {}\n\
+                    #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                    let _ = tweetmob_geo::haversine_km(a, b);\n    }\n}\n";
+        let d = lint_source("m.rs", "tweetmob-models", FileKind::Library, good);
+        assert!(d.is_empty(), "{d:?}");
+        let bin = "fn main() { let _ = tweetmob_geo::haversine_km(a, b); }\n";
+        let b = lint_source("bin/x.rs", "tweetmob-epidemic", FileKind::Binary, bin);
+        assert!(b.iter().all(|d| d.rule != Rule::RawHaversine), "{b:?}");
+    }
+
+    #[test]
+    fn raw_haversine_annotation_suppresses_with_reason() {
+        let src = "fn f(a: Point, b: Point) -> f64 {\n    \
+                   // lint: allow(raw-haversine) — one-off pair, no triangle to share\n    \
+                   tweetmob_geo::haversine_km(a, b)\n}\n";
+        let d = lint_source("m.rs", "tweetmob-models", FileKind::Library, src);
+        assert!(d.is_empty(), "{d:?}");
+        let bare = src.replace(" — one-off pair, no triangle to share", "");
+        let d = lint_source("m.rs", "tweetmob-models", FileKind::Library, &bare);
+        assert_eq!(rules(&d), vec![Rule::RawHaversine]);
     }
 
     // -- scanner internals -------------------------------------------------

@@ -44,6 +44,12 @@ impl Drop for Scratch {
 /// `tweetmob-core` so the result-crate (determinism) and cast-strict
 /// (lossy-cast) rule families both apply.
 fn write_fixture(root: &Path, lib_source: &str) {
+    write_named_fixture(root, "tweetmob-core", lib_source);
+}
+
+/// As [`write_fixture`] but with an explicit package name, for rules
+/// scoped to particular crates (e.g. `raw-haversine`).
+fn write_named_fixture(root: &Path, package: &str, lib_source: &str) {
     fs::write(
         root.join("Cargo.toml"),
         "[workspace]\nmembers = [\"crates/*\"]\n",
@@ -53,7 +59,7 @@ fn write_fixture(root: &Path, lib_source: &str) {
     fs::create_dir_all(pkg.join("src")).expect("create fixture src");
     fs::write(
         pkg.join("Cargo.toml"),
-        "[package]\nname = \"tweetmob-core\"\nversion = \"0.0.0\"\n",
+        format!("[package]\nname = \"{package}\"\nversion = \"0.0.0\"\n"),
     )
     .expect("write fixture manifest");
     fs::write(pkg.join("src/lib.rs"), lib_source).expect("write fixture lib.rs");
@@ -173,6 +179,52 @@ fn bad_fixture_is_flagged_on_exact_lines() {
     for d in &diags {
         assert!(expected_lines.contains(&d.line), "unexpected finding: {d}");
     }
+}
+
+#[test]
+fn raw_haversine_fixture_is_flagged_and_annotatable() {
+    const FIXTURE: &str = "\
+//! Model crate fixture calling the scalar distance path directly.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Sums distances pair by pair instead of using the cache.
+pub fn total(points: &[Point]) -> f64 {
+    let mut sum = 0.0;
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            sum += tweetmob_geo::haversine_km(*a, *b);
+        }
+    }
+    sum
+}
+";
+    let scratch = Scratch::new("raw-haversine");
+    write_named_fixture(scratch.path(), "tweetmob-models", FIXTURE);
+    let diags = lint_workspace(scratch.path()).expect("lint raw-haversine fixture");
+    assert_eq!(
+        diags.len(),
+        1,
+        "exactly the scalar call fires:\n{}",
+        render_report(&diags)
+    );
+    assert_eq!(diags[0].rule, Rule::RawHaversine);
+    assert_eq!(diags[0].line, 10);
+
+    // The same source under a non-fitting crate name is clean...
+    write_named_fixture(scratch.path(), "tweetmob-geo", FIXTURE);
+    let geo = lint_workspace(scratch.path()).expect("lint under tweetmob-geo");
+    assert!(geo.is_empty(), "{}", render_report(&geo));
+
+    // ...and the escape hatch clears the finding in the fitting crate.
+    let annotated = FIXTURE.replace(
+        "            sum += tweetmob_geo::haversine_km(*a, *b);",
+        "            // lint: allow(raw-haversine) — fixture documents the escape hatch\n            \
+         sum += tweetmob_geo::haversine_km(*a, *b);",
+    );
+    write_named_fixture(scratch.path(), "tweetmob-models", &annotated);
+    let allowed = lint_workspace(scratch.path()).expect("lint annotated fixture");
+    assert!(allowed.is_empty(), "{}", render_report(&allowed));
 }
 
 #[test]

@@ -6,6 +6,7 @@
 //! zero flow, population or distance cannot enter a log fit and are
 //! skipped; the number used is recorded on the fit.
 
+use crate::columns::FitColumns;
 use crate::traits::{FlowObservation, MobilityModel, ModelError};
 use serde::{Deserialize, Serialize};
 use tweetmob_stats::check::debug_assert_finite;
@@ -217,8 +218,120 @@ impl Gravity4Fit {
         if !(grid.alpha.valid() && grid.beta.valid() && grid.gamma.valid()) {
             return Err(ModelError::DegenerateFit("invalid gravity search grid"));
         }
-        // Precompute the per-observation logs once; each of the ~10^5
-        // candidates then costs n fused multiply-adds.
+        // Columnar log features, built once per fit: every (α, β) run
+        // then collapses to five sufficient statistics and each of the
+        // ~10^5 candidates is scored in closed form.
+        let cols = FitColumns::from_observations(observations);
+        let n_used = cols.len();
+        if n_used < 2 {
+            return Err(ModelError::TooFewObservations {
+                needed: 2,
+                got: n_used,
+            });
+        }
+        let n = n_used as f64;
+        let mean_lp = cols.ln_t().iter().sum::<f64>() / n;
+        let sst: f64 = cols.ln_t().iter().map(|&lt| (lt - mean_lp).powi(2)).sum();
+        if sst <= 0.0 {
+            return Err(ModelError::DegenerateFit("zero variance in log flows"));
+        }
+
+        // Candidate indices vary gamma fastest (see `decode`), so every
+        // contiguous chunk is a sequence of gamma runs at fixed (α, β).
+        // Per run the α/β part of the residual — u_i = ln T − α·ln m −
+        // β·ln n — is hoisted into a scratch buffer and reduced to the
+        // five run moments (Σu, Σu², Σu·ln d, Σln d, Σln d²); each
+        // candidate is then a closed-form O(1) SSE instead of an O(n)
+        // sweep. Scratch and moments depend only on (α, β), so chunk
+        // boundaries cannot change any candidate's value and the search
+        // stays byte-identical at every thread count. The closed form
+        // only *ranks* candidates — the winner's fit is recomputed with
+        // the pre-columnar expression in `finish_grid_winner`.
+        let cols = &cols;
+        let gamma_steps = grid.gamma.steps;
+        let best = tweetmob_par::par_map_reduce(
+            "gravity-grid",
+            grid.len(),
+            4096,
+            |range| {
+                let mut best = BestCandidate {
+                    sse: f64::INFINITY,
+                    idx: usize::MAX,
+                };
+                let mut u = vec![0.0; n_used];
+                let mut current_run = usize::MAX;
+                let mut moments = cols.run_moments(&u);
+                for idx in range {
+                    let run = idx / gamma_steps;
+                    if run != current_run {
+                        let alpha = grid.alpha.value(run / grid.beta.steps);
+                        let beta = grid.beta.value(run % grid.beta.steps);
+                        cols.fill_partial_residuals(alpha, beta, &mut u);
+                        moments = cols.run_moments(&u);
+                        current_run = run;
+                    }
+                    // Optimal log C is mean(r), so SSE = Σr² − (Σr)²/n.
+                    let gamma = grid.gamma.value(idx - run * gamma_steps);
+                    let sse = moments.candidate_sse(gamma, n);
+                    let cand = BestCandidate { sse, idx };
+                    if cand.better_than(&best) {
+                        best = cand;
+                    }
+                }
+                best
+            },
+            |a, b| if b.better_than(&a) { b } else { a },
+        );
+        if best.idx == usize::MAX {
+            return Err(ModelError::DegenerateFit("empty gravity search grid"));
+        }
+        Ok(Self::finish_grid_winner(cols, grid, best.idx, sst))
+    }
+
+    /// Recomputes the winning candidate's intercept and R² serially in
+    /// index order, with the pre-columnar expression — the reported fit
+    /// never depends on chunk-local or lane-local rounding, and the new
+    /// and reference search paths report byte-identical fits whenever
+    /// they agree on the argmin.
+    fn finish_grid_winner(cols: &FitColumns, grid: &GravityGrid, idx: usize, sst: f64) -> Self {
+        let (alpha, beta, gamma) = grid.decode(idx);
+        let n = cols.len() as f64;
+        let residual = |i: usize| {
+            cols.ln_t()[i]
+                - (alpha * cols.ln_m()[i] + beta * cols.ln_n()[i] - gamma * cols.ln_d()[i])
+        };
+        let log_c = (0..cols.len()).map(residual).sum::<f64>() / n;
+        let sse: f64 = (0..cols.len()).map(|i| (residual(i) - log_c).powi(2)).sum();
+        Self {
+            c: debug_assert_finite(10f64.powf(log_c), "gravity-grid C"),
+            alpha,
+            beta,
+            gamma,
+            log_r_squared: debug_assert_finite(1.0 - sse / sst, "gravity-grid R^2"),
+            n_used: cols.len(),
+        }
+    }
+
+    /// The pre-columnar grid search, kept verbatim as the A/B baseline
+    /// for `kernels_bench` and the equivalence suite: array-of-structs
+    /// logs, full 3-multiply residual per observation per candidate.
+    ///
+    /// Semantics and guards are identical to [`fit_grid`](Self::fit_grid);
+    /// only the per-candidate evaluation differs. Not deprecated — it is
+    /// the measuring stick the committed `BENCH_kernels.json` is ranked
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// As [`fit_grid`](Self::fit_grid).
+    pub fn fit_grid_reference(
+        observations: &[FlowObservation],
+        grid: &GravityGrid,
+    ) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/gravity4-grid-reference");
+        if !(grid.alpha.valid() && grid.beta.valid() && grid.gamma.valid()) {
+            return Err(ModelError::DegenerateFit("invalid gravity search grid"));
+        }
         let logs: Vec<[f64; 4]> = observations
             .iter()
             .filter(|o| o.fittable())
@@ -247,7 +360,7 @@ impl Gravity4Fit {
 
         let logs = &logs;
         let best = tweetmob_par::par_map_reduce(
-            "gravity-grid",
+            "gravity-grid-reference",
             grid.len(),
             4096,
             |range| {
@@ -257,9 +370,6 @@ impl Gravity4Fit {
                 };
                 for idx in range {
                     let (alpha, beta, gamma) = grid.decode(idx);
-                    // Residual before the intercept: r_i = log P_i −
-                    // (α·log m + β·log n − γ·log d). Optimal log C is
-                    // mean(r), so SSE = Σr² − (Σr)²/n.
                     let mut sum = 0.0;
                     let mut sumsq = 0.0;
                     for l in logs {
@@ -280,30 +390,8 @@ impl Gravity4Fit {
         if best.idx == usize::MAX {
             return Err(ModelError::DegenerateFit("empty gravity search grid"));
         }
-
-        let (alpha, beta, gamma) = grid.decode(best.idx);
-        let log_c = logs
-            .iter()
-            .map(|l| l[3] - (alpha * l[0] + beta * l[1] - gamma * l[2]))
-            .sum::<f64>()
-            / n;
-        // Recompute the winner's SSE serially in index order so the
-        // reported R² never depends on chunk-local rounding.
-        let sse: f64 = logs
-            .iter()
-            .map(|l| {
-                let r = l[3] - (alpha * l[0] + beta * l[1] - gamma * l[2]);
-                (r - log_c).powi(2)
-            })
-            .sum();
-        Ok(Self {
-            c: debug_assert_finite(10f64.powf(log_c), "gravity-grid C"),
-            alpha,
-            beta,
-            gamma,
-            log_r_squared: debug_assert_finite(1.0 - sse / sst, "gravity-grid R^2"),
-            n_used,
-        })
+        let cols = FitColumns::from_observations(observations);
+        Ok(Self::finish_grid_winner(&cols, grid, best.idx, sst))
     }
 }
 
@@ -498,6 +586,42 @@ mod tests {
         // Bit-identical, not merely close: the min-merge has a total
         // tie-break and SSEs are computed per-candidate.
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_search_matches_reference_bit_for_bit() {
+        // Noisy data so the argmin is decided by real SSE comparisons,
+        // not an exact on-lattice minimum.
+        let mut data = synthetic(0.02, 0.6, 1.25, 2.1, 97);
+        let mut k = 11u64;
+        for o in &mut data {
+            o.observed_flow *= prand(&mut k, 0.8, 1.2);
+        }
+        let grid = GravityGrid::default();
+        for threads in [1, 8] {
+            let new = tweetmob_par::with_threads(threads, || {
+                Gravity4Fit::fit_grid(&data, &grid).unwrap()
+            });
+            let old = tweetmob_par::with_threads(threads, || {
+                Gravity4Fit::fit_grid_reference(&data, &grid).unwrap()
+            });
+            assert_eq!(new, old, "columnar vs reference at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn grid_search_reference_shares_guards() {
+        let data = synthetic(0.01, 1.0, 1.0, 2.0, 50);
+        let mut grid = GravityGrid::default();
+        grid.alpha.steps = 0;
+        assert!(matches!(
+            Gravity4Fit::fit_grid_reference(&data, &grid),
+            Err(ModelError::DegenerateFit(_))
+        ));
+        assert!(matches!(
+            Gravity4Fit::fit_grid_reference(&data[..1], &GravityGrid::default()),
+            Err(ModelError::TooFewObservations { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * **Gravity grid search** — exhaustive `(α, β, γ)` search with the
 //!   scale solved in closed form, dispatched over the shared
 //!   `tweetmob-par` worker pool ([`Gravity4Fit::fit_grid`] with
-//!   [`GravityGrid`]).
+//!   [`GravityGrid`]). The search runs on struct-of-arrays log-feature
+//!   columns ([`FitColumns`]) that hoist the `α`/`β` part of each
+//!   residual across gamma runs; the pre-columnar path survives as
+//!   [`Gravity4Fit::fit_grid_reference`] for A/B benchmarking.
 //! * **Radiation** (Eq. 3): `P ∝ C · m n / ((m+s)(m+n+s))`, where `s` is
 //!   the population within radius `d` of the origin excluding origin and
 //!   destination ([`RadiationFit`], with [`InterveningPopulation`]
@@ -57,6 +60,7 @@
 // `!(x > 0.0)` guards are deliberate: they also reject NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+mod columns;
 mod deterrence;
 mod evaluation;
 mod gravity;
@@ -65,6 +69,7 @@ mod opportunities;
 mod radiation;
 mod traits;
 
+pub use columns::{FitColumns, RunMoments, LANES};
 pub use deterrence::{GravityExpFit, TannerFit};
 pub use evaluation::{evaluate, evaluate_vectors, ModelEvaluation};
 pub use gravity::{Gravity2Fit, Gravity4Fit, GravityGrid, GridAxis};

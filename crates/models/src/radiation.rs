@@ -11,28 +11,31 @@
 
 use crate::traits::{FlowObservation, MobilityModel, ModelError};
 use serde::{Deserialize, Serialize};
-use tweetmob_geo::{haversine_km, Point};
+use std::sync::Arc;
+use tweetmob_geo::{PairGeometry, Point};
 use tweetmob_stats::check::debug_assert_finite;
 
 /// Efficient `s(i, j)` computation over a fixed set of areas.
 ///
-/// For each origin, the other areas are sorted by distance once and a
-/// population prefix sum recorded; each query is then a binary search —
-/// O(n log n) build, O(log n) per pair instead of the naive O(n) scan
-/// (ablated in `bench/radiation.rs`).
+/// Rides on a shared [`PairGeometry`] cache: the per-origin
+/// distance-sorted rank lists come straight from the cache, and every
+/// distance a query needs — including the destination distance in the
+/// disc-count path — is a cached lookup, never a fresh haversine. A
+/// population prefix sum in rank order makes each query a binary
+/// search — O(n log n) build, O(log n) per pair instead of the naive
+/// O(n) scan (ablated in `bench/radiation.rs`).
 #[derive(Debug, Clone)]
 pub struct InterveningPopulation {
-    centers: Vec<Point>,
+    geometry: Arc<PairGeometry>,
     populations: Vec<f64>,
-    /// Per origin: (distance to other area, its index), ascending.
-    sorted: Vec<Vec<(f64, usize)>>,
-    /// Per origin: prefix sums of populations in `sorted` order
-    /// (`prefix[k]` = population of the k nearest other areas).
+    /// Per origin: prefix sums of populations in the geometry's rank
+    /// order (`prefix[k]` = population of the k nearest other areas).
     prefix: Vec<Vec<f64>>,
 }
 
 impl InterveningPopulation {
-    /// Builds the structure from area centres and populations.
+    /// Builds the structure from area centres and populations, building
+    /// a fresh [`PairGeometry`] with the batch kernel.
     ///
     /// # Panics
     ///
@@ -43,42 +46,72 @@ impl InterveningPopulation {
             populations.len(),
             "centers and populations must align"
         );
-        let n = centers.len();
-        let mut sorted = Vec::with_capacity(n);
+        Self::from_geometry(PairGeometry::shared(centers), populations)
+    }
+
+    /// As [`InterveningPopulation::build`], but through the scalar
+    /// per-pair distance path ([`PairGeometry::build_direct`]) — the
+    /// pre-cache baseline kept for `--no-geometry-cache` A/B runs.
+    ///
+    /// # Panics
+    ///
+    /// If the slices differ in length.
+    pub fn build_direct(centers: &[Point], populations: &[f64]) -> Self {
+        assert_eq!(
+            centers.len(),
+            populations.len(),
+            "centers and populations must align"
+        );
+        Self::from_geometry(Arc::new(PairGeometry::build_direct(centers)), populations)
+    }
+
+    /// Builds on an existing shared geometry cache, avoiding any
+    /// distance recomputation.
+    ///
+    /// # Panics
+    ///
+    /// If `geometry.len() != populations.len()`.
+    pub fn from_geometry(geometry: Arc<PairGeometry>, populations: &[f64]) -> Self {
+        assert_eq!(
+            geometry.len(),
+            populations.len(),
+            "centers and populations must align"
+        );
+        let n = geometry.len();
         let mut prefix = Vec::with_capacity(n);
         for i in 0..n {
-            let mut row: Vec<(f64, usize)> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| (haversine_km(centers[i], centers[j]), j))
-                .collect();
-            row.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut acc = 0.0;
-            let pre: Vec<f64> = row
+            let pre: Vec<f64> = geometry
+                .ranked(i)
                 .iter()
                 .map(|&(_, j)| {
                     acc += populations[j];
                     acc
                 })
                 .collect();
-            sorted.push(row);
             prefix.push(pre);
         }
         Self {
-            centers: centers.to_vec(),
+            geometry,
             populations: populations.to_vec(),
-            sorted,
             prefix,
         }
     }
 
+    /// The shared geometry cache this structure rides on.
+    #[must_use]
+    pub fn geometry(&self) -> &Arc<PairGeometry> {
+        &self.geometry
+    }
+
     /// Number of areas.
     pub fn len(&self) -> usize {
-        self.centers.len()
+        self.populations.len()
     }
 
     /// Whether the structure is empty.
     pub fn is_empty(&self) -> bool {
-        self.centers.is_empty()
+        self.populations.is_empty()
     }
 
     /// `s(origin, dest)`: population within `d(origin, dest)` of the
@@ -94,22 +127,23 @@ impl InterveningPopulation {
             "index out of range"
         );
         assert_ne!(origin, dest, "s(i, i) is undefined");
-        let d = haversine_km(self.centers[origin], self.centers[dest]);
+        let d = self.geometry.distance(origin, dest);
         self.s_at_radius(origin, dest, d)
     }
 
     /// `s` for an explicit radius (exposed for the naive-vs-prefix bench
     /// and the radius-sweep ablation).
     pub fn s_at_radius(&self, origin: usize, dest: usize, radius_km: f64) -> f64 {
-        let row = &self.sorted[origin];
+        let row = self.geometry.ranked(origin);
         // Count areas with distance <= radius.
         let k = row.partition_point(|&(dist, _)| dist <= radius_km);
         if k == 0 {
             return 0.0;
         }
         let mut total = self.prefix[origin][k - 1];
-        // Destination inside the disc must be excluded.
-        let d_dest = haversine_km(self.centers[origin], self.centers[dest]);
+        // Destination inside the disc must be excluded; its distance is
+        // a cache lookup, not a recomputation.
+        let d_dest = self.geometry.distance(origin, dest);
         if d_dest <= radius_km {
             total -= self.populations[dest];
         }
@@ -119,13 +153,13 @@ impl InterveningPopulation {
     /// Reference O(n) implementation used by tests and the bench
     /// baseline.
     pub fn s_naive(&self, origin: usize, dest: usize) -> f64 {
-        let d = haversine_km(self.centers[origin], self.centers[dest]);
+        let d = self.geometry.distance(origin, dest);
         let mut total = 0.0;
         for j in 0..self.len() {
             if j == origin || j == dest {
                 continue;
             }
-            if haversine_km(self.centers[origin], self.centers[j]) <= d {
+            if self.geometry.distance(origin, j) <= d {
                 total += self.populations[j];
             }
         }
@@ -267,6 +301,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_and_direct_builds_agree_bit_for_bit() {
+        let mut k = 31u64;
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        let centers: Vec<Point> = (0..20)
+            .map(|_| Point::new_unchecked(next(-44.0, -10.0), next(113.0, 154.0)))
+            .collect();
+        let pops: Vec<f64> = (0..20).map(|_| next(1e3, 1e6)).collect();
+        let cached = InterveningPopulation::build(&centers, &pops);
+        let direct = InterveningPopulation::build_direct(&centers, &pops);
+        for i in 0..20 {
+            for j in 0..20 {
+                if i != j {
+                    assert_eq!(cached.s(i, j).to_bits(), direct.s(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_geometry_shares_the_cache() {
+        let centers = vec![
+            Point::new_unchecked(0.0, 100.0),
+            Point::new_unchecked(0.0, 101.0),
+            Point::new_unchecked(0.0, 102.5),
+        ];
+        let geo = tweetmob_geo::PairGeometry::shared(&centers);
+        let w = InterveningPopulation::from_geometry(
+            std::sync::Arc::clone(&geo),
+            &[1_000.0, 2_000.0, 4_000.0],
+        );
+        assert!(std::sync::Arc::ptr_eq(w.geometry(), &geo));
+        assert_eq!(w.s(0, 2), 2_000.0);
     }
 
     #[test]

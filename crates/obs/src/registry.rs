@@ -249,12 +249,26 @@ impl MetricsRegistry {
         });
         drop(counters);
         out.push_str("},\n");
-        // gauges
+        // gauges — `_ns`-suffixed names carry durations (e.g.
+        // cache/pairgeo/build_ns) and are zeroed under redaction like
+        // every other duration field.
         out.push_str("  \"gauges\": {");
         let gauges = lock(&self.gauges);
-        write_entries(&mut out, gauges.iter(), 4, |out, cell| {
-            let _ = write!(out, "{}", cell.load(Ordering::Relaxed));
-        });
+        write_entries(
+            &mut out,
+            gauges.iter().map(|(name, cell)| {
+                let shown = if redact && name.ends_with("_ns") {
+                    0
+                } else {
+                    cell.load(Ordering::Relaxed)
+                };
+                (name, shown)
+            }),
+            4,
+            |out, shown| {
+                let _ = write!(out, "{shown}");
+            },
+        );
         drop(gauges);
         out.push_str("},\n");
         // histograms

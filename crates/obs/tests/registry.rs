@@ -141,6 +141,22 @@ fn nested_span_ordering_is_deterministic_across_two_runs() {
 }
 
 #[test]
+fn redaction_zeroes_duration_gauges_but_keeps_the_rest() {
+    let registry = MetricsRegistry::new();
+    registry.gauge("cache/pairgeo/build_ns").set(123_456);
+    registry.gauge("odmatrix/cells").set(400);
+    let full: serde_json::Value = serde_json::from_str(&registry.to_json()).expect("valid");
+    let redacted: serde_json::Value =
+        serde_json::from_str(&registry.to_json_redacted()).expect("valid");
+    assert_eq!(full["gauges"]["cache/pairgeo/build_ns"], 123_456);
+    assert_eq!(
+        redacted["gauges"]["cache/pairgeo/build_ns"], 0,
+        "`_ns` gauges are duration data and must redact"
+    );
+    assert_eq!(redacted["gauges"]["odmatrix/cells"], 400);
+}
+
+#[test]
 fn latency_histogram_buckets_cover_every_span_call() {
     let registry = identical_run();
     let doc: serde_json::Value = serde_json::from_str(&registry.to_json()).expect("valid");

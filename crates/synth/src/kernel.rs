@@ -22,7 +22,7 @@
 
 use crate::gazetteer::Place;
 use rand::{Rng, RngExt};
-use tweetmob_geo::haversine_km;
+use tweetmob_geo::TrigPoint;
 use tweetmob_stats::rng::SplitMix64;
 
 /// Moves at or beyond this distance use the far (inter-city) regime.
@@ -60,10 +60,16 @@ impl MobilityKernel {
         seed: u64,
     ) -> Self {
         let n = places.len();
+        // Hoist the per-place trigonometry once; the pair loop then runs
+        // the cheap TrigPoint kernel (bit-identical to haversine_km).
+        let trig: Vec<TrigPoint> = places
+            .iter()
+            .map(|p| TrigPoint::new(p.area.center))
+            .collect();
         let mut distances = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = haversine_km(places[i].area.center, places[j].area.center);
+                let d = trig[i].distance_km(&trig[j]);
                 distances[i * n + j] = d;
                 distances[j * n + i] = d;
             }
@@ -211,6 +217,19 @@ mod tests {
             assert_eq!(k.distance_km(i, i), 0.0);
             for j in (0..k.len()).step_by(11) {
                 assert_eq!(k.distance_km(i, j), k.distance_km(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_distances_match_haversine_bit_for_bit() {
+        let places = world_places();
+        let k = kernel();
+        for i in (0..k.len()).step_by(13) {
+            for j in (0..k.len()).step_by(17) {
+                let direct =
+                    tweetmob_geo::haversine_km(places[i].area.center, places[j].area.center);
+                assert_eq!(k.distance_km(i, j).to_bits(), direct.to_bits());
             }
         }
     }

@@ -1,0 +1,81 @@
+//! Equivalence suite for the geometry cache (DESIGN.md §11): the cached
+//! fitting path (`PairGeometry` + columnar `FitColumns` kernel) must
+//! produce **byte-identical** model fits to the pre-cache scalar path,
+//! on every paper scale, at one worker thread and at eight.
+//!
+//! This is the contract that makes `--no-geometry-cache` a pure A/B
+//! switch: the cache changes wall-clock time and the `cache/pairgeo/*`
+//! metrics, and nothing else. `with_threads` serialises callers on a
+//! global lock, so these tests are safe under the parallel test runner.
+
+use tweetmob::core::{Experiment, Scale};
+use tweetmob::models::{Gravity4Fit, GravityGrid};
+use tweetmob::par::with_threads;
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn config() -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 2_000;
+    cfg
+}
+
+/// One mobility run serialised to its canonical JSON document.
+fn report_json(ds: &tweetmob::data::TweetDataset, scale: Scale, cache: bool) -> String {
+    let mut exp = Experiment::new(ds);
+    exp.set_geometry_cache(cache);
+    let report = exp.mobility(scale).expect("mobility report");
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn cached_and_direct_fits_are_bit_identical_on_every_scale() {
+    let ds = TweetGenerator::new(config()).generate();
+    for scale in Scale::ALL {
+        // Cached at 1 thread is the baseline; the direct path and the
+        // 8-thread runs of both must reproduce it byte for byte.
+        let baseline = with_threads(1, || report_json(&ds, scale, true));
+        for threads in [1usize, 8] {
+            for cache in [true, false] {
+                let run = with_threads(threads, || report_json(&ds, scale, cache));
+                assert_eq!(
+                    baseline,
+                    run,
+                    "{} scale: cache={cache} at {threads} thread(s) diverged",
+                    scale.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn columnar_grid_search_matches_the_reference_fitter() {
+    let ds = TweetGenerator::new(config()).generate();
+    let exp = Experiment::new(&ds);
+    let report = with_threads(1, || {
+        exp.mobility(Scale::National).expect("mobility report")
+    });
+    let grid = GravityGrid::default();
+    let baseline = serde_json::to_string(&with_threads(1, || {
+        Gravity4Fit::fit_grid_reference(&report.observations, &grid).expect("reference fit")
+    }))
+    .expect("fit serializes");
+    for threads in [1usize, 8] {
+        let columnar = serde_json::to_string(&with_threads(threads, || {
+            Gravity4Fit::fit_grid(&report.observations, &grid).expect("columnar fit")
+        }))
+        .expect("fit serializes");
+        assert_eq!(
+            baseline, columnar,
+            "columnar grid search diverged from the reference at {threads} thread(s)"
+        );
+        let reference = serde_json::to_string(&with_threads(threads, || {
+            Gravity4Fit::fit_grid_reference(&report.observations, &grid).expect("reference fit")
+        }))
+        .expect("fit serializes");
+        assert_eq!(
+            baseline, reference,
+            "reference fitter is not thread-count invariant at {threads} thread(s)"
+        );
+    }
+}
