@@ -282,8 +282,9 @@ impl OutbreakScenario {
                     let seed = replicate_seed(base_seed, k as u64);
                     out.push(
                         self.run_stochastic(days, dt, seed)
-                            // lint: allow(no-panic) — validate() ran above; per-replicate
-                            // runs only repeat it on identical inputs
+                            // lint: allow(no-panic) — validate() succeeded above and
+                            // run_stochastic re-validates the same immutable inputs, so
+                            // per-replicate failure is unreachable
                             .expect("validated scenario cannot fail"),
                     );
                 }

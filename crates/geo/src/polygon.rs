@@ -40,7 +40,8 @@ impl Polygon {
             Point::new(v.lat, v.lon)?;
         }
         let bbox = BoundingBox::covering(vertices.iter().copied())
-            // lint: allow(no-panic) — vertices.len() >= 3 was checked above
+            // lint: allow(no-panic) — covering() is None only for an empty
+            // iterator, and vertices.len() >= 3 was checked above
             .expect("non-empty vertex list");
         Ok(Self { vertices, bbox })
     }

@@ -36,6 +36,30 @@
 //!   never recomputes transcendentals and the `cache/pairgeo/*` metrics
 //!   stay honest.
 //!
+//! On top of the per-file textual rules, four semantic rule families run
+//! over a parsed workspace model (lexer → item parser → call graph; the
+//! architecture and its soundness caveats are in DESIGN.md §12):
+//!
+//! * **`panic-path`** — walks the cross-file call graph from public
+//!   library entry points and binary command handlers; any reachable
+//!   panicking site in non-test library code is reported with its full
+//!   call chain. Indexing sites join in under `--index-panics`.
+//! * **`unit-measure`** — tracks degree/radian/km conventions through
+//!   parameter and binding suffixes plus known conversions, flagging
+//!   mixed-unit arithmetic, double conversions and trig-on-degrees in the
+//!   geographic crates.
+//! * **`determinism-taint`** — values derived from `Instant`, thread
+//!   identity or unordered-container iteration may not flow into
+//!   JSON/serialization sinks or formatting macros, except inside
+//!   `tweetmob-obs` (the sanctioned `_ns`-redaction path).
+//! * **`unused-allow`** — a `lint: allow` annotation that no longer
+//!   suppresses anything (or names an unknown rule, or lacks its
+//!   justification) is itself a finding, so escape hatches cannot rot.
+//!
+//! The workspace's public surface is additionally snapshotted into a
+//! committed `API.lock` (see [`api_snapshot`] / [`diff_api`]); the binary's
+//! `--check-api` mode fails on any uncommitted drift.
+//!
 //! Any finding can be suppressed with an explicit, justified annotation on
 //! the same or the preceding line:
 //!
@@ -43,13 +67,25 @@
 //! // lint: allow(no-panic) — mutex poisoning is unrecoverable here
 //! ```
 //!
-//! The scanner is line/token based (no `syn`, zero dependencies): string
-//! literals, comments and `#[cfg(test)]` regions are stripped before any
-//! rule fires, so fixtures in doc comments or test modules never trip the
+//! Annotations count only in real (non-doc) comments in non-test code;
+//! `allow(no-panic)` and `allow(panic-path)` each silence both panic rules
+//! at a site, since justifying the panic justifies every path through it.
+//!
+//! The engine is dependency-free (no `syn`): string literals, comments and
+//! `#[cfg(test)]` regions are stripped (byte-preservingly) before any rule
+//! fires, so fixtures in doc comments or test modules never trip the
 //! linter.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+mod api_lock;
+mod model;
+mod semantic;
+mod taint;
+mod units;
+
+pub use api_lock::diff_api;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -85,7 +121,7 @@ const CAST_STRICT_CRATES: &[&str] = &[
 /// reintroduces the O(n²) transcendental cost the cache exists to remove.
 const GEOMETRY_CACHE_CRATES: &[&str] = &["tweetmob-models", "tweetmob-epidemic"];
 
-/// The seven rule families.
+/// The eleven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Crate root missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
@@ -102,6 +138,14 @@ pub enum Rule {
     ParLayer,
     /// Scalar `haversine_km` call in a crate that must use the geometry cache.
     RawHaversine,
+    /// Panicking site reachable from a public entry point (call-graph walk).
+    PanicPath,
+    /// Degree/radian/km convention violation in the geographic crates.
+    UnitMeasure,
+    /// Nondeterministic value flowing into serialized output.
+    DeterminismTaint,
+    /// A `lint: allow` annotation that suppresses nothing.
+    UnusedAllow,
 }
 
 impl Rule {
@@ -116,6 +160,42 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::ParLayer => "par-layer",
             Rule::RawHaversine => "raw-haversine",
+            Rule::PanicPath => "panic-path",
+            Rule::UnitMeasure => "unit-measure",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Every rule name, for validating annotations.
+    pub(crate) const ALL_NAMES: &'static [&'static str] = &[
+        "crate-header",
+        "no-panic",
+        "float-ord",
+        "determinism",
+        "lossy-cast",
+        "par-layer",
+        "raw-haversine",
+        "panic-path",
+        "unit-measure",
+        "determinism-taint",
+        "unused-allow",
+    ];
+
+    /// Annotation names accepted for this rule. The two panic rules alias
+    /// each other: a justified panic site is justified on every path.
+    fn accepted_names(self) -> &'static [&'static str] {
+        match self {
+            Rule::NoPanic | Rule::PanicPath => &["no-panic", "panic-path"],
+            Rule::CrateHeader => &["crate-header"],
+            Rule::FloatOrd => &["float-ord"],
+            Rule::Determinism => &["determinism"],
+            Rule::LossyCast => &["lossy-cast"],
+            Rule::ParLayer => &["par-layer"],
+            Rule::RawHaversine => &["raw-haversine"],
+            Rule::UnitMeasure => &["unit-measure"],
+            Rule::DeterminismTaint => &["determinism-taint"],
+            Rule::UnusedAllow => &["unused-allow"],
         }
     }
 }
@@ -164,7 +244,9 @@ pub enum FileKind {
 }
 
 impl FileKind {
-    fn is_library(self) -> bool {
+    /// Library code (crate root or module) — the scope of the panic rules.
+    #[must_use]
+    pub fn is_library(self) -> bool {
         matches!(self, FileKind::LibRoot | FileKind::Library)
     }
 
@@ -173,50 +255,157 @@ impl FileKind {
     }
 }
 
+/// One workspace source file, loaded and classified — the input unit of
+/// [`lint_files`] and [`api_snapshot`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display label used verbatim in diagnostics (workspace-relative path
+    /// when loaded through [`load_workspace`]).
+    pub label: String,
+    /// Package name of the owning crate.
+    pub crate_name: String,
+    /// How the file participates in its crate.
+    pub kind: FileKind,
+    /// Full source text.
+    pub source: String,
+}
+
+/// Knobs for a lint run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Treat postfix indexing (`xs[i]`) as a panicking site in the
+    /// `panic-path` walk. Off by default: the numeric kernels index
+    /// heavily against invariant-checked bounds, and flooding them with
+    /// findings would drown the signal — turn this on for targeted audits
+    /// (`--index-panics`).
+    pub index_panics: bool,
+}
+
+/// The one sort order every path shares: findings compare by
+/// `(file, line, rule, message)`, so multi-rule output on a single line is
+/// byte-stable across runs and entry points.
+fn sort_findings(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Runs the per-file textual rules (no suppression, no sorting).
+fn textual_checks(
+    label: &str,
+    crate_name: &str,
+    kind: FileKind,
+    code: &str,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    if kind.is_crate_root() {
+        check_crate_header(label, code, out);
+    }
+    if kind.is_library() {
+        check_no_panic(label, code, in_test, out);
+    }
+    check_float_ord(label, code, in_test, out);
+    check_determinism(label, crate_name, kind, code, in_test, out);
+    if kind.is_library() && CAST_STRICT_CRATES.contains(&crate_name) {
+        check_lossy_cast(label, code, in_test, out);
+    }
+    if crate_name != "tweetmob-par" {
+        check_par_layer(label, code, in_test, out);
+    }
+    if kind.is_library() && GEOMETRY_CACHE_CRATES.contains(&crate_name) {
+        check_raw_haversine(label, code, in_test, out);
+    }
+}
+
 /// Lints one source file given its crate name (the `name` in the package's
 /// `Cargo.toml`) and [`FileKind`]. `label` is used verbatim in
 /// diagnostics. This is the core entry point the fixture tests drive.
+///
+/// Only the textual rules run here: the semantic passes (`panic-path`,
+/// `unit-measure`, `determinism-taint`, `unused-allow`) need the workspace
+/// model and run through [`lint_files`] / [`lint_workspace`].
 #[must_use]
 pub fn lint_source(label: &str, crate_name: &str, kind: FileKind, source: &str) -> Vec<Diagnostic> {
     let stripped = strip_non_code(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
     let test_regions = find_test_regions(&stripped);
     let mut out = Vec::new();
-
-    if kind.is_crate_root() {
-        check_crate_header(label, &stripped, &mut out);
-    }
-    let code = &stripped.code;
     let in_test = |off: usize| test_regions.iter().any(|&(s, e)| off >= s && off < e);
-
-    if kind.is_library() {
-        check_no_panic(label, code, &in_test, &mut out);
-    }
-    check_float_ord(label, code, &in_test, &mut out);
-    check_determinism(label, crate_name, kind, code, &in_test, &mut out);
-    if kind.is_library() && CAST_STRICT_CRATES.contains(&crate_name) {
-        check_lossy_cast(label, code, &in_test, &mut out);
-    }
-    if crate_name != "tweetmob-par" {
-        check_par_layer(label, code, &in_test, &mut out);
-    }
-    if kind.is_library() && GEOMETRY_CACHE_CRATES.contains(&crate_name) {
-        check_raw_haversine(label, code, &in_test, &mut out);
-    }
-
-    out.retain(|d| !is_allowed(&raw_lines, d.line, d.rule));
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    textual_checks(label, crate_name, kind, &stripped.code, &in_test, &mut out);
+    let mut sup = Suppressor::collect(source, &stripped.comments, &test_regions);
+    out.retain(|d| !sup.allows(d.line, d.rule));
+    sort_findings(&mut out);
     out
 }
 
-/// Lints every workspace source file under `root`, returning all findings
-/// sorted by path and line.
+/// Lints a loaded file set: textual rules per file, then the semantic
+/// passes over the parsed workspace model, then `unused-allow` over every
+/// annotation the earlier passes never consulted.
+#[must_use]
+pub fn lint_files(files: &[SourceFile], opts: &LintOptions) -> Vec<Diagnostic> {
+    let (pfs, model) = model::parse_workspace(files);
+    let mut sups: Vec<Suppressor> = pfs
+        .iter()
+        .map(|pf| Suppressor::collect(&pf.raw, &pf.comments, &pf.tests))
+        .collect();
+    let label_idx: BTreeMap<&str, usize> = pfs
+        .iter()
+        .enumerate()
+        .map(|(i, pf)| (pf.label.as_str(), i))
+        .collect();
+
+    let mut out = Vec::new();
+    for (idx, pf) in pfs.iter().enumerate() {
+        let mut file_out = Vec::new();
+        let in_test = |off: usize| pf.in_test(off);
+        textual_checks(
+            &pf.label,
+            &pf.crate_name,
+            pf.kind,
+            &pf.code,
+            &in_test,
+            &mut file_out,
+        );
+        file_out.retain(|d| !sups[idx].allows(d.line, d.rule));
+        out.append(&mut file_out);
+    }
+
+    let mut sem = Vec::new();
+    semantic::check_panic_paths(
+        &pfs,
+        &model,
+        opts.index_panics,
+        |file, line| sups[file].allows(line, Rule::PanicPath),
+        &mut sem,
+    );
+    units::check_units(&pfs, &model, &mut sem);
+    taint::check_taint(&pfs, &model, &mut sem);
+    sem.retain(|d| {
+        label_idx
+            .get(d.file.as_str())
+            .is_none_or(|&i| !sups[i].allows(d.line, d.rule))
+    });
+    out.append(&mut sem);
+
+    for (idx, sup) in sups.iter().enumerate() {
+        sup.report_unused(&pfs[idx].label, &mut out);
+    }
+    sort_findings(&mut out);
+    out
+}
+
+/// Loads every lintable workspace source file under `root`.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures reading the source tree.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
     for (path, crate_name, kind) in workspace_files(root)? {
         let source = fs::read_to_string(&path)?;
         let label = path
@@ -224,10 +413,43 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .into_owned();
-        out.extend(lint_source(&label, &crate_name, kind, &source));
+        files.push(SourceFile {
+            label,
+            crate_name,
+            kind,
+            source,
+        });
     }
-    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(out)
+    Ok(files)
+}
+
+/// Lints every workspace source file under `root` with default options,
+/// returning all findings in the unified `(file, line, rule, message)`
+/// order.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the source tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    lint_workspace_with(root, &LintOptions::default())
+}
+
+/// [`lint_workspace`] with explicit [`LintOptions`].
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the source tree.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> io::Result<Vec<Diagnostic>> {
+    let files = load_workspace(root)?;
+    Ok(lint_files(&files, opts))
+}
+
+/// Renders the public-API snapshot (`API.lock` contents) of a loaded file
+/// set. Deterministic: sorted, deduplicated, newline-terminated.
+#[must_use]
+pub fn api_snapshot(files: &[SourceFile]) -> String {
+    let (_, model) = model::parse_workspace(files);
+    api_lock::render_api(&model)
 }
 
 /// Enumerates the workspace's lintable `.rs` files: the root package's
@@ -329,27 +551,59 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 // ---------------------------------------------------------------------------
 // Source stripping: comments, strings and char literals become spaces so
-// token searches and paren matching see only real code.
+// token searches and paren matching see only real code. The stripper is
+// byte-preserving (a blanked multibyte char becomes that many spaces), so
+// every offset into the stripped text indexes the raw source too — the
+// item parser slices raw signatures through stripped offsets.
 // ---------------------------------------------------------------------------
 
-struct Stripped {
+pub(crate) struct Stripped {
     /// The source with every comment/string/char-literal byte replaced by a
-    /// space (newlines preserved), so offsets map 1:1 to line numbers.
-    code: String,
+    /// space (newlines preserved), so offsets map 1:1 to raw bytes and
+    /// line numbers.
+    pub(crate) code: String,
+    /// The complement, restricted to *non-doc* comment content: bytes
+    /// inside `//`/`/* */` comments keep their text, everything else
+    /// (code, strings, doc comments) is blanked. Annotations are read from
+    /// here, so a `lint: allow` quoted in a doc example or a string
+    /// literal never registers.
+    pub(crate) comments: String,
 }
 
-fn strip_non_code(src: &str) -> Stripped {
+/// Pushes `c` to `buf` blanked: the same number of bytes as `c`, all
+/// spaces (newlines stay, keeping line geometry).
+fn push_blank(buf: &mut String, c: char) {
+    if c == '\n' {
+        buf.push('\n');
+    } else {
+        for _ in 0..c.len_utf8() {
+            buf.push(' ');
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+pub(crate) fn strip_non_code(src: &str) -> Stripped {
     #[derive(PartialEq)]
     enum St {
         Code,
-        LineComment,
-        BlockComment(u32),
+        /// `doc`: `///` / `//!` content is excluded from the comments
+        /// buffer (rules read doc text nowhere, and examples inside docs
+        /// must not register annotations).
+        LineComment {
+            doc: bool,
+        },
+        BlockComment {
+            depth: u32,
+            doc: bool,
+        },
         Str,
         RawStr(usize),
         CharLit,
     }
     let chars: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
+    let mut code = String::with_capacity(src.len());
+    let mut comments = String::with_capacity(src.len());
     let mut st = St::Code;
     let mut i = 0;
     while i < chars.len() {
@@ -358,20 +612,30 @@ fn strip_non_code(src: &str) -> Stripped {
         match st {
             St::Code => match c {
                 '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    out.push_str("  ");
+                    let doc = matches!(chars.get(i + 2), Some('/' | '!'));
+                    st = St::LineComment { doc };
+                    push_blank(&mut code, '/');
+                    push_blank(&mut code, '/');
+                    push_blank(&mut comments, '/');
+                    push_blank(&mut comments, '/');
                     i += 2;
                     continue;
                 }
                 '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    out.push_str("  ");
+                    let doc = matches!(chars.get(i + 2), Some('*' | '!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    st = St::BlockComment { depth: 1, doc };
+                    push_blank(&mut code, '/');
+                    push_blank(&mut code, '*');
+                    push_blank(&mut comments, '/');
+                    push_blank(&mut comments, '*');
                     i += 2;
                     continue;
                 }
                 '"' => {
                     st = St::Str;
-                    out.push(' ');
+                    push_blank(&mut code, c);
+                    push_blank(&mut comments, c);
                 }
                 'r' | 'b' if is_raw_string_start(&chars, i) => {
                     // Consume the prefix (r, br) and hashes up to the quote.
@@ -384,8 +648,10 @@ fn strip_non_code(src: &str) -> Stripped {
                         hashes += 1;
                         j += 1;
                     }
-                    for _ in i..=j {
-                        out.push(' ');
+                    for k in i..=j {
+                        let ch = chars.get(k).copied().unwrap_or(' ');
+                        push_blank(&mut code, ch);
+                        push_blank(&mut comments, ch);
                     }
                     st = St::RawStr(hashes);
                     i = j + 1;
@@ -393,32 +659,42 @@ fn strip_non_code(src: &str) -> Stripped {
                 }
                 '\'' => {
                     // Distinguish char literals from lifetimes: 'x' or '\..'.
+                    push_blank(&mut code, c);
+                    push_blank(&mut comments, c);
                     if next == Some('\\') || chars.get(i + 2) == Some(&'\'') {
                         st = St::CharLit;
-                        out.push(' ');
-                    } else {
-                        out.push(' '); // lifetime tick; the name stays as code
                     }
+                    // else: lifetime tick; the name stays as code.
                 }
-                _ => out.push(c),
+                _ => {
+                    code.push(c);
+                    push_blank(&mut comments, c);
+                }
             },
-            St::LineComment => {
+            St::LineComment { doc } => {
                 if c == '\n' {
                     st = St::Code;
-                    out.push('\n');
+                    code.push('\n');
+                    comments.push('\n');
                 } else {
-                    out.push(' ');
+                    push_blank(&mut code, c);
+                    if doc {
+                        push_blank(&mut comments, c);
+                    } else {
+                        comments.push(c);
+                    }
                 }
             }
-            St::BlockComment(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
+            St::BlockComment { depth, doc } => {
                 if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push(' ');
+                    st = St::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    for ch in ['/', '*'] {
+                        push_blank(&mut code, ch);
+                        push_blank(&mut comments, ch);
+                    }
                     i += 2;
                     continue;
                 }
@@ -426,25 +702,33 @@ fn strip_non_code(src: &str) -> Stripped {
                     st = if depth == 1 {
                         St::Code
                     } else {
-                        St::BlockComment(depth - 1)
+                        St::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        }
                     };
-                    out.push(' ');
+                    for ch in ['*', '/'] {
+                        push_blank(&mut code, ch);
+                        push_blank(&mut comments, ch);
+                    }
                     i += 2;
                     continue;
                 }
+                push_blank(&mut code, c);
+                if doc || c == '\n' {
+                    push_blank(&mut comments, c);
+                } else {
+                    comments.push(c);
+                }
             }
             St::Str => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
+                push_blank(&mut code, c);
+                push_blank(&mut comments, c);
                 if c == '\\' {
                     // Skip the escaped character.
-                    if next == Some('\n') {
-                        out.push('\n');
-                    } else if next.is_some() {
-                        out.push(' ');
+                    if let Some(n) = next {
+                        push_blank(&mut code, n);
+                        push_blank(&mut comments, n);
                     }
                     i += 2;
                     continue;
@@ -454,11 +738,8 @@ fn strip_non_code(src: &str) -> Stripped {
                 }
             }
             St::RawStr(hashes) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
+                push_blank(&mut code, c);
+                push_blank(&mut comments, c);
                 if c == '"' {
                     let mut ok = true;
                     for k in 0..hashes {
@@ -469,7 +750,8 @@ fn strip_non_code(src: &str) -> Stripped {
                     }
                     if ok {
                         for _ in 0..hashes {
-                            out.push(' ');
+                            push_blank(&mut code, '#');
+                            push_blank(&mut comments, '#');
                         }
                         st = St::Code;
                         i += 1 + hashes;
@@ -478,10 +760,12 @@ fn strip_non_code(src: &str) -> Stripped {
                 }
             }
             St::CharLit => {
-                out.push(' ');
+                push_blank(&mut code, c);
+                push_blank(&mut comments, c);
                 if c == '\\' {
-                    if next.is_some() {
-                        out.push(' ');
+                    if let Some(n) = next {
+                        push_blank(&mut code, n);
+                        push_blank(&mut comments, n);
                     }
                     i += 2;
                     continue;
@@ -493,7 +777,7 @@ fn strip_non_code(src: &str) -> Stripped {
         }
         i += 1;
     }
-    Stripped { code: out }
+    Stripped { code, comments }
 }
 
 /// Is position `i` the start of a raw (byte) string literal: `r"`, `r#"`,
@@ -520,7 +804,7 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
 // Test-region detection: byte ranges of `#[test]` / `#[cfg(test)]` items.
 // ---------------------------------------------------------------------------
 
-fn find_test_regions(stripped: &Stripped) -> Vec<(usize, usize)> {
+pub(crate) fn find_test_regions(stripped: &Stripped) -> Vec<(usize, usize)> {
     let code = stripped.code.as_bytes();
     let mut regions = Vec::new();
     let mut depth: i64 = 0;
@@ -568,10 +852,8 @@ fn find_test_regions(stripped: &Stripped) -> Vec<(usize, usize)> {
                     }
                 }
             }
-            b';' => {
-                if pending == Some(depth) {
-                    pending = None;
-                }
+            b';' if pending == Some(depth) => {
+                pending = None;
             }
             _ => {}
         }
@@ -586,7 +868,7 @@ fn find_test_regions(stripped: &Stripped) -> Vec<(usize, usize)> {
 
 /// Does an attribute body mark a test item? True for `test`, `cfg(test)`,
 /// `cfg(all(test, ...))` and tool test attributes; false for `cfg_attr`.
-fn attr_marks_test(attr: &str) -> bool {
+pub(crate) fn attr_marks_test(attr: &str) -> bool {
     let t = attr.trim();
     if t.starts_with("cfg_attr") {
         return false;
@@ -615,7 +897,7 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn line_of(code: &str, offset: usize) -> usize {
+pub(crate) fn line_of(code: &str, offset: usize) -> usize {
     code.as_bytes()[..offset.min(code.len())]
         .iter()
         .filter(|&&b| b == b'\n')
@@ -627,68 +909,143 @@ fn line_of(code: &str, offset: usize) -> usize {
 // Annotation escape hatch.
 // ---------------------------------------------------------------------------
 
-/// True when `// lint: allow(<rule>) — <reason>` (with a nonempty reason)
-/// appears on the diagnostic's line or in the contiguous `//` comment
-/// block immediately above it (so a justification may wrap lines).
-fn is_allowed(raw_lines: &[&str], line: usize, rule: Rule) -> bool {
-    let Some(idx) = line.checked_sub(1) else {
-        return false;
-    };
-    if raw_lines
-        .get(idx)
-        .is_some_and(|t| annotation_allows(t, rule))
-    {
-        return true;
-    }
-    let mut above = idx;
-    while above > 0 {
-        above -= 1;
-        let Some(text) = raw_lines.get(above) else {
-            return false;
-        };
-        if !text.trim_start().starts_with("//") {
-            return false;
-        }
-        if annotation_allows(text, rule) {
-            return true;
-        }
-    }
-    false
+/// One `// lint: allow(<rule>) — <reason>` annotation found in a file's
+/// (non-doc) comments.
+struct Annotation {
+    /// 1-based line the annotation sits on.
+    line: usize,
+    /// The rule name between the parentheses, verbatim.
+    rule: String,
+    /// Whether a justification follows (a dash then prose).
+    has_reason: bool,
+    /// Inside a `#[cfg(test)]`/`#[test]` region (never consulted: rules
+    /// skip test code, so such annotations are inert and exempt from
+    /// `unused-allow` rather than forced out of test helpers).
+    in_test: bool,
+    /// Whether any finding consulted and matched this annotation.
+    used: bool,
 }
 
-fn annotation_allows(text: &str, rule: Rule) -> bool {
-    let Some(comment_at) = text.find("//") else {
-        return false;
-    };
-    let comment = &text[comment_at..];
-    let Some(at) = comment.find("lint: allow(") else {
-        return false;
-    };
-    let rest = &comment[at + "lint: allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    if rest[..close].trim() != rule.name() {
-        return false;
+/// Per-file suppression state. Collects every annotation once, then every
+/// rule pass consults [`Suppressor::allows`] — which marks annotations as
+/// used, so the leftover set drives the `unused-allow` rule.
+struct Suppressor {
+    annotations: Vec<Annotation>,
+    /// Per raw line (0-based): does the line hold only a `//` comment?
+    /// (Contiguity test for the annotate-above form.)
+    comment_line: Vec<bool>,
+}
+
+impl Suppressor {
+    /// Scans the comments layer of a stripped file for annotations.
+    fn collect(raw: &str, comments: &str, tests: &[(usize, usize)]) -> Self {
+        let comment_line = raw
+            .lines()
+            .map(|l| l.trim_start().starts_with("//"))
+            .collect();
+        let mut annotations = Vec::new();
+        let mut line_start = 0usize;
+        for (line_no, text) in comments.lines().enumerate() {
+            for at in find_token(text, "lint: allow(") {
+                let rest = &text[at + "lint: allow(".len()..];
+                let Some(close) = rest.find(')') else {
+                    continue;
+                };
+                let rule = rest[..close].trim().to_string();
+                let after = &rest[close + 1..];
+                let has_reason = after
+                    .find(['—', '–', '-'])
+                    .is_some_and(|dash| after[dash..].chars().skip(1).any(char::is_alphanumeric));
+                let off = line_start + at;
+                annotations.push(Annotation {
+                    line: line_no + 1,
+                    rule,
+                    has_reason,
+                    in_test: tests.iter().any(|&(s, e)| off >= s && off < e),
+                    used: false,
+                });
+            }
+            line_start += text.len() + 1;
+        }
+        Suppressor {
+            annotations,
+            comment_line,
+        }
     }
-    // Require a justification after a dash: "— reason" or "- reason".
-    let after = &rest[close + 1..];
-    let Some(dash) = after.find(['—', '–', '-']) else {
-        return false;
-    };
-    after[dash..].chars().skip(1).any(|c| c.is_alphanumeric())
+
+    /// True when a valid annotation for `rule` covers `line` (same line,
+    /// or the contiguous `//` comment block immediately above). Marks the
+    /// matching annotation used.
+    fn allows(&mut self, line: usize, rule: Rule) -> bool {
+        let names = rule.accepted_names();
+        // Candidate lines: the finding's own, then each line of the
+        // comment block above it.
+        let mut candidates = vec![line];
+        let mut above = line.saturating_sub(1); // 1-based line above
+        while above >= 1 {
+            let is_comment = self.comment_line.get(above - 1).copied().unwrap_or(false);
+            if !is_comment {
+                break;
+            }
+            candidates.push(above);
+            above -= 1;
+        }
+        for ann in &mut self.annotations {
+            // A reasonless annotation never suppresses (and stays unused,
+            // so `unused-allow` points at it).
+            if candidates.contains(&ann.line)
+                && names.contains(&ann.rule.as_str())
+                && ann.has_reason
+            {
+                ann.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits an `unused-allow` finding for every annotation in non-test
+    /// code that no pass consumed.
+    fn report_unused(&self, label: &str, out: &mut Vec<Diagnostic>) {
+        for ann in &self.annotations {
+            if ann.used || ann.in_test {
+                continue;
+            }
+            let message = if !Rule::ALL_NAMES.contains(&ann.rule.as_str()) {
+                format!(
+                    "`lint: allow({})` names an unknown rule — known rules: {}",
+                    ann.rule,
+                    Rule::ALL_NAMES.join(", ")
+                )
+            } else if !ann.has_reason {
+                format!(
+                    "`lint: allow({})` lacks a justification: append `— <reason>` \
+                     (an unexplained escape hatch suppresses nothing)",
+                    ann.rule
+                )
+            } else {
+                format!(
+                    "stale `lint: allow({})`: no `{}` finding here any more — delete the \
+                     annotation so the escape hatch does not outlive its reason",
+                    ann.rule, ann.rule
+                )
+            };
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: ann.line,
+                rule: Rule::UnusedAllow,
+                message,
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Rule 1: crate headers.
 // ---------------------------------------------------------------------------
 
-fn check_crate_header(label: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
-    let flat: String = stripped
-        .code
-        .chars()
-        .filter(|c| !c.is_whitespace())
-        .collect();
+fn check_crate_header(label: &str, code: &str, out: &mut Vec<Diagnostic>) {
+    let flat: String = code.chars().filter(|c| !c.is_whitespace()).collect();
     for (needle, attr) in [
         ("#![forbid(unsafe_code)]", "#![forbid(unsafe_code)]"),
         ("#![deny(missing_docs)]", "#![deny(missing_docs)]"),
@@ -755,7 +1112,7 @@ fn check_no_panic(
 
 /// All offsets of `token` in `code` at identifier boundaries (the char
 /// before the token's first ident char must not be an ident char).
-fn find_token(code: &str, token: &str) -> Vec<usize> {
+pub(crate) fn find_token(code: &str, token: &str) -> Vec<usize> {
     let mut found = Vec::new();
     let bytes = code.as_bytes();
     let mut start = 0;
@@ -1030,9 +1387,9 @@ fn cast_source_is_unrounded_float(code: &str, as_off: usize) -> bool {
                 return has_float_literal(lit) || float_evidence;
             }
             _ => {
-                // Identifier, index, field access: type unknown — only the
-                // accumulated evidence counts, and a bare name gives none.
-                return float_evidence && false;
+                // Identifier, index, field access: type unknown — a bare
+                // name gives no evidence, whatever accumulated before it.
+                return false;
             }
         }
     }
@@ -1200,8 +1557,10 @@ mod tests {
         let bad = "//! Docs.\npub fn f() {}\n";
         let d = lint_source("lib.rs", "tweetmob-stats", FileKind::LibRoot, bad);
         assert_eq!(rules(&d), vec![Rule::CrateHeader, Rule::CrateHeader]);
-        assert!(d[0].message.contains("forbid(unsafe_code)"));
-        assert!(d[1].message.contains("deny(missing_docs)"));
+        // Same line, same rule: the unified (file, line, rule, message)
+        // order ties-breaks on message text, deterministically.
+        assert!(d[0].message.contains("deny(missing_docs)"));
+        assert!(d[1].message.contains("forbid(unsafe_code)"));
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Cross-file call graph and the `panic-path` rule: walk from public
+//! library entry points (and binary command handlers) and report any path
+//! that reaches a panicking site in non-test library code, as the full
+//! call chain rather than the bare site.
+//!
+//! Resolution is name-based: a call site `foo(..)` or `x.foo(..)` edges to
+//! every workspace function named `foo` (method calls additionally require
+//! a `self` parameter on the target). That over-approximates — two crates
+//! with a method of the same name share edges — but an over-approximate
+//! graph can only report a chain that names real functions, and a
+//! justified (`lint: allow`) site never propagates, so the pass stays
+//! quiet on a clean workspace. Under-resolution (trait-object dispatch,
+//! function pointers, macros) is the documented unsound direction: a
+//! chain the parser cannot see is a chain it cannot report.
+
+use crate::model::{Model, ParsedFile, Tok, TokKind};
+use crate::{Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One panicking site inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct PanicSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Display token (`unwrap()`, `expect(..)`, `panic!`, `indexing`).
+    pub what: &'static str,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "as", "in", "use", "pub", "mod", "impl", "struct", "enum", "trait",
+    "type", "const", "static", "unsafe", "async", "await", "dyn", "where", "crate", "super",
+    "true", "false",
+];
+
+/// Extracts the call sites of a function body: `(callee, is_method, line)`.
+pub(crate) fn call_sites(pf: &ParsedFile, body: (usize, usize)) -> Vec<(String, bool, usize)> {
+    let mut out = Vec::new();
+    let toks = body_toks(pf, body);
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = &pf.code[t.start..t.end];
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let next = toks.get(k + 1);
+        let Some(n) = next else { continue };
+        // `name!(..)` is a macro, not a call-graph edge.
+        if n.kind == TokKind::Punct(b'!') {
+            continue;
+        }
+        let open_next = matches!(n.kind, TokKind::Punct(b'('));
+        // Turbofish / generic call: `name::<T>(..)`.
+        let turbofish = k + 4 < toks.len()
+            && matches!(n.kind, TokKind::Punct(b':'))
+            && matches!(toks.get(k + 2).map(|t| t.kind), Some(TokKind::Punct(b':')))
+            && matches!(toks.get(k + 3).map(|t| t.kind), Some(TokKind::Punct(b'<')));
+        if !open_next && !turbofish {
+            continue;
+        }
+        let is_method = k > 0 && matches!(toks[k - 1].kind, TokKind::Punct(b'.'));
+        out.push((name.to_string(), is_method, pf.line_of(t.start)));
+    }
+    out
+}
+
+/// Extracts panicking sites in a body: panic macros/methods, plus postfix
+/// indexing when `index_panics` is set.
+pub(crate) fn panic_sites(
+    pf: &ParsedFile,
+    body: (usize, usize),
+    index_panics: bool,
+) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    let span = &pf.code[body.0..body.1];
+    const TOKENS: &[(&str, &str)] = &[
+        (".unwrap()", "unwrap()"),
+        (".expect(", "expect(..)"),
+        ("panic!", "panic!"),
+        ("unreachable!", "unreachable!"),
+        ("todo!", "todo!"),
+        ("unimplemented!", "unimplemented!"),
+    ];
+    for &(needle, what) in TOKENS {
+        for off in crate::find_token(span, needle) {
+            if needle == ".expect(" && span[off..].starts_with(".expect_err(") {
+                continue;
+            }
+            let abs = body.0 + off;
+            if pf.in_test(abs) {
+                continue;
+            }
+            out.push(PanicSite {
+                line: pf.line_of(abs),
+                what,
+            });
+        }
+    }
+    if index_panics {
+        let toks = body_toks(pf, body);
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct(b'[') || k == 0 {
+                continue;
+            }
+            // Postfix position: an expression just ended. `&[u8]`, array
+            // literals `[0; 8]` and attributes `#[..]` all have a
+            // non-expression token before the bracket.
+            let prev = &toks[k - 1];
+            let postfix = matches!(
+                prev.kind,
+                TokKind::Ident | TokKind::Punct(b')') | TokKind::Punct(b']')
+            ) && !matches!(prev.kind, TokKind::Ident if CALL_KEYWORDS.contains(&&pf.code[prev.start..prev.end]));
+            if !postfix || pf.in_test(t.start) {
+                continue;
+            }
+            out.push(PanicSite {
+                line: pf.line_of(t.start),
+                what: "indexing",
+            });
+        }
+    }
+    out.sort_by_key(|s| s.line);
+    out
+}
+
+fn body_toks(pf: &ParsedFile, body: (usize, usize)) -> &[Tok] {
+    let lo = pf.toks.partition_point(|t| t.start < body.0);
+    let hi = pf.toks.partition_point(|t| t.start < body.1);
+    &pf.toks[lo..hi.max(lo)]
+}
+
+/// Runs the panic-reachability pass. `site_allowed` is consulted once per
+/// site (marking annotation usage); justified sites neither report nor
+/// propagate.
+pub(crate) fn check_panic_paths(
+    pfs: &[ParsedFile],
+    model: &Model,
+    index_panics: bool,
+    mut site_allowed: impl FnMut(usize, usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Name → function ids, split plain/method for resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in model.fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(id);
+    }
+    // Edges and per-function unsuppressed panic sites.
+    let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); model.fns.len()];
+    let mut sites: Vec<Vec<PanicSite>> = vec![Vec::new(); model.fns.len()];
+    for (id, f) in model.fns.iter().enumerate() {
+        let Some(body) = f.body else { continue };
+        let pf = &pfs[f.file];
+        if f.in_test {
+            continue;
+        }
+        let mut seen = BTreeSet::new();
+        for (callee, is_method, line) in call_sites(pf, body) {
+            if let Some(cands) = by_name.get(callee.as_str()) {
+                for &cid in cands {
+                    if cid == id || !seen.insert(cid) {
+                        continue;
+                    }
+                    if is_method && !model.fns[cid].has_self {
+                        continue;
+                    }
+                    edges[id].push((cid, line));
+                }
+            }
+        }
+        // Panic sites only count in library code (binaries may panic, per
+        // the no-panic rule's scope).
+        if f.kind.is_library() {
+            for s in panic_sites(pf, body, index_panics) {
+                if !site_allowed(f.file, s.line) {
+                    sites[id].push(s);
+                }
+            }
+        }
+    }
+
+    // BFS from every entry point at once: shortest chain wins.
+    let mut pred: Vec<Option<(usize, usize)>> = vec![None; model.fns.len()]; // (caller, line)
+    let mut visited = vec![false; model.fns.len()];
+    let mut queue = VecDeque::new();
+    for (id, f) in model.fns.iter().enumerate() {
+        let is_entry = !f.in_test && ((f.is_pub && f.kind.is_library()) || !f.kind.is_library());
+        if is_entry && f.body.is_some() {
+            visited[id] = true;
+            queue.push_back(id);
+        }
+    }
+    let mut order = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &(next, line) in &edges[id] {
+            if !visited[next] {
+                visited[next] = true;
+                pred[next] = Some((id, line));
+                queue.push_back(next);
+            }
+        }
+    }
+
+    for id in order {
+        if sites[id].is_empty() {
+            continue;
+        }
+        let chain = chain_to(model, &pred, id);
+        let f = &model.fns[id];
+        let pf = &pfs[f.file];
+        for s in &sites[id] {
+            let route = if chain.len() == 1 {
+                format!("public `{}`", chain[0])
+            } else {
+                format!("`{}`", chain.join("` → `"))
+            };
+            out.push(Diagnostic {
+                file: pf.label.clone(),
+                line: s.line,
+                rule: Rule::PanicPath,
+                message: format!(
+                    "`{}` reachable from {route}: a panic here aborts every caller up the \
+                     chain — return an error, or annotate the invariant that rules it out",
+                    s.what
+                ),
+            });
+        }
+    }
+}
+
+fn chain_to(model: &Model, pred: &[Option<(usize, usize)>], id: usize) -> Vec<String> {
+    let mut chain = vec![model.fns[id].qualified()];
+    let mut cur = id;
+    let mut hops = 0;
+    while let Some((p, _)) = pred[cur] {
+        chain.push(model.fns[p].qualified());
+        cur = p;
+        hops += 1;
+        if hops > model.fns.len() {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}

@@ -139,7 +139,7 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some((registry, path, start)) = self.active.take() {
             let elapsed = start.elapsed().as_nanos();
-            // lint: allow(lossy-cast) — u128→u64 ns saturates after ~584 years
+            // u128→u64 ns saturates after ~584 years of elapsed time.
             let elapsed_ns = u64::try_from(elapsed).unwrap_or(u64::MAX);
             pop_scope();
             registry.record_span(&path, elapsed_ns);

@@ -158,7 +158,9 @@ where
             .map(|r| scope.spawn(move || map(r)))
             .collect();
         for h in handles {
-            // lint: allow(no-panic) — join fails only if the worker panicked
+            // lint: allow(no-panic) — join() errs only when the worker itself
+            // panicked; propagating that panic is the contract (no half-merged
+            // chunk may ever reach a caller)
             out.push(h.join().expect("tweetmob-par worker panicked"));
         }
     });

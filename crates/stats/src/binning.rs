@@ -105,7 +105,8 @@ impl LogBins {
             return None;
         }
         let first = self.edges[0];
-        // lint: allow(no-panic) — constructors guarantee at least two edges
+        // lint: allow(no-panic) — every constructor rejects fewer than two
+        // edges (LogBins::new / from_edges), so `last()` cannot be None
         let last = *self.edges.last().unwrap();
         if x < first || x > last {
             return None;
