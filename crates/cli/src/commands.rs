@@ -4,9 +4,9 @@ use crate::args::Args;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use tweetmob_core::{deterrence_ablation, AreaSet, Experiment, PopulationSource, Scale};
-use tweetmob_data::{io as dataio, DatasetSummary, TweetDataset};
+use tweetmob_data::{io as dataio, DatasetSummary, ModelBundle, TweetDataset};
 use tweetmob_epidemic::{MobilityNetwork, OutbreakScenario, SeirParams};
-use tweetmob_models::InterveningPopulation;
+use tweetmob_models::ModelKind;
 use tweetmob_synth::{GeneratorConfig, TweetGenerator};
 
 type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
@@ -121,6 +121,47 @@ fn scale_arg(args: &Args) -> Result<Scale> {
     }
 }
 
+fn source_arg(args: &Args) -> PopulationSource {
+    if args.has("census") {
+        PopulationSource::Census
+    } else {
+        PopulationSource::Twitter
+    }
+}
+
+/// Fits at the requested scale and returns the report plus the
+/// persistable artifact bundle.
+fn fit_bundle(
+    args: &Args,
+    ds: &TweetDataset,
+) -> Result<(tweetmob_core::MobilityReport, ModelBundle)> {
+    let scale = scale_arg(args)?;
+    let exp = experiment(args, ds);
+    Ok(exp.fit_with(
+        &AreaSet::of_scale(scale),
+        source_arg(args),
+        scale.name().to_string(),
+    )?)
+}
+
+/// Resolves the bundle a predict-style command works from: either a
+/// saved artifact (`--artifact-in PATH`, no dataset and no refit) or an
+/// inline fit (`--fit DATASET`) — the two produce bit-identical
+/// predictions, which the CI artifacts job asserts.
+fn bundle_arg(args: &Args) -> Result<ModelBundle> {
+    match (args.get("artifact-in"), args.get("fit")) {
+        (Some(path), None) => {
+            let _span = tweetmob_obs::span!("artifact_in");
+            Ok(ModelBundle::load_file(path)?)
+        }
+        (None, Some(dataset)) => {
+            let ds = load(dataset)?;
+            Ok(fit_bundle(args, &ds)?.1)
+        }
+        _ => Err("need exactly one of --artifact-in PATH or --fit DATASET".into()),
+    }
+}
+
 /// `tweetmob generate <out> [--users N] [--seed N]`
 pub fn generate(args: &Args) -> Result<()> {
     let out_path = args.positional(0).ok_or("missing output path")?;
@@ -164,17 +205,11 @@ pub fn population(args: &Args) -> Result<()> {
     Ok(())
 }
 
-/// `tweetmob mobility <dataset> [--scale S] [--census] [--extended]`
+/// `tweetmob mobility <dataset> [--scale S] [--census] [--extended]
+/// [--artifact-out PATH]`
 pub fn mobility(args: &Args) -> Result<()> {
     let ds = dataset_arg(args)?;
-    let scale = scale_arg(args)?;
-    let source = if args.has("census") {
-        PopulationSource::Census
-    } else {
-        PopulationSource::Twitter
-    };
-    let exp = experiment(args, &ds);
-    let report = exp.mobility_with(&AreaSet::of_scale(scale), source, scale.name().to_string())?;
+    let (report, bundle) = fit_bundle(args, &ds)?;
     print!("{report}");
     if args.has("extended") {
         let ablation = deterrence_ablation(&report);
@@ -185,72 +220,152 @@ pub fn mobility(args: &Args) -> Result<()> {
             println!("  (IPF converged in {iters} sweeps)");
         }
     }
+    if let Some(path) = args.get("artifact-out") {
+        bundle.save_file(path)?;
+        println!("artifact written to {path}");
+    }
     Ok(())
 }
 
-/// `tweetmob epidemic <dataset> [--beta X] [--gamma X] [--sigma X]
-/// [--seed-city NAME] [--days N] [--restrict DAY:FACTOR]`
-pub fn epidemic(args: &Args) -> Result<()> {
+/// `tweetmob fit <dataset> --artifact-out PATH [--scale S] [--census]`
+/// — the fit half of the fit-once / predict-many split: run the
+/// mobility experiment and persist the fitted models with their
+/// geometry so later `predict` / `epidemic` runs need no dataset.
+pub fn fit(args: &Args) -> Result<()> {
+    let out = args
+        .get("artifact-out")
+        .ok_or("missing --artifact-out PATH")?;
     let ds = dataset_arg(args)?;
+    let (report, bundle) = fit_bundle(args, &ds)?;
+    bundle.save_file(out)?;
+    print!("{report}");
+    println!(
+        "artifact: {} areas, {} populations, models fitted on {} trips → {out}",
+        bundle.len(),
+        bundle.meta().population_source,
+        report.od_total
+    );
+    Ok(())
+}
+
+/// `tweetmob predict (--artifact-in PATH | --fit DATASET) --origin NAME
+/// [--dest NAME | --top K] [--model M|all] [--json]` — answer pairwise
+/// or top-k flow queries from fitted models, without refitting when an
+/// artifact is supplied.
+pub fn predict(args: &Args) -> Result<()> {
+    let bundle = bundle_arg(args)?;
+    let model_flag = args.get("model").unwrap_or("all");
+    let kinds: Vec<ModelKind> = if model_flag.eq_ignore_ascii_case("all") {
+        ModelKind::ALL.to_vec()
+    } else {
+        vec![ModelKind::parse(model_flag).ok_or_else(|| {
+            format!("unknown model {model_flag:?} (gravity4|gravity2|radiation|opportunities|all)")
+        })?]
+    };
+    let origin_name = args.get("origin").ok_or("missing --origin AREA")?;
+    let origin = bundle
+        .area_index(origin_name)
+        .ok_or_else(|| format!("unknown area {origin_name:?}"))?;
+    let origin_name = bundle.areas()[origin].name.clone();
+
+    if let Some(dest_name) = args.get("dest") {
+        let dest = bundle
+            .area_index(dest_name)
+            .ok_or_else(|| format!("unknown area {dest_name:?}"))?;
+        if dest == origin {
+            return Err("--origin and --dest name the same area".into());
+        }
+        let dest_name = bundle.areas()[dest].name.clone();
+        let predictions: Vec<(ModelKind, f64)> = kinds
+            .iter()
+            .map(|&k| (k, bundle.predict(k, origin, dest)))
+            .collect();
+        if args.has("json") {
+            let map: serde_json::Map<String, serde_json::Value> = predictions
+                .iter()
+                .map(|&(k, p)| (k.key().to_string(), serde_json::json!(p)))
+                .collect();
+            let doc = serde_json::json!({
+                "origin": origin_name,
+                "dest": dest_name,
+                "distance_km": bundle.geometry().distance(origin, dest),
+                "predictions": map,
+            });
+            println!("{doc}");
+        } else {
+            println!(
+                "{origin_name} → {dest_name} ({:.1} km)",
+                bundle.geometry().distance(origin, dest)
+            );
+            for (k, p) in predictions {
+                println!("  {:<14} {p:.3}", k.key());
+            }
+        }
+    } else {
+        let k: usize = args.get_parsed("top", 5)?;
+        if args.has("json") {
+            let models: serde_json::Map<String, serde_json::Value> = kinds
+                .iter()
+                .map(|&kind| {
+                    let ranked: Vec<serde_json::Value> = bundle
+                        .top_k(kind, origin, k)
+                        .into_iter()
+                        .map(|(dest, flow)| {
+                            serde_json::json!({
+                                "dest": bundle.areas()[dest].name,
+                                "flow": flow,
+                            })
+                        })
+                        .collect();
+                    (kind.key().to_string(), serde_json::json!(ranked))
+                })
+                .collect();
+            let doc = serde_json::json!({
+                "origin": origin_name,
+                "k": k,
+                "models": models,
+            });
+            println!("{doc}");
+        } else {
+            for &kind in &kinds {
+                println!("top {k} destinations from {origin_name} ({}):", kind.key());
+                for (dest, flow) in bundle.top_k(kind, origin, k) {
+                    println!("  {:<16} {flow:.3}", bundle.areas()[dest].name);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `tweetmob epidemic (<dataset> | --artifact-in PATH) [--beta X]
+/// [--gamma X] [--sigma X] [--seed-city NAME] [--days N]
+/// [--restrict DAY:FACTOR]`
+pub fn epidemic(args: &Args) -> Result<()> {
     let beta: f64 = args.get_parsed("beta", 0.5)?;
     let gamma: f64 = args.get_parsed("gamma", 0.2)?;
     let days: f64 = args.get_parsed("days", 365.0)?;
     let seed_city = args.get("seed-city").unwrap_or("Sydney");
 
-    // Fit gravity on national flows and build the network over census
-    // populations (the paper's proposed pipeline).
-    let use_cache = !args.has(crate::args::NO_GEO_CACHE);
-    let exp = experiment(args, &ds);
-    let report = exp.mobility(Scale::National)?;
-    let areas = AreaSet::of_scale(Scale::National);
-    let seed_patch = areas
-        .areas()
-        .iter()
-        .position(|a| a.name.eq_ignore_ascii_case(seed_city))
+    // The outbreak runs over the gravity flows of a fitted national
+    // model. With --artifact-in the fit comes straight off disk — no
+    // dataset, no refit; otherwise fit gravity on national flows now.
+    // Either way the network is built from the bundle over census
+    // populations (the paper's proposed pipeline), bit-identically.
+    let bundle = if let Some(path) = args.get("artifact-in") {
+        let _span = tweetmob_obs::span!("artifact_in");
+        ModelBundle::load_file(path)?
+    } else {
+        let ds = dataset_arg(args)?;
+        let exp = experiment(args, &ds);
+        exp.fit(Scale::National)?.1
+    };
+    let seed_patch = bundle
+        .area_index(seed_city)
         .ok_or_else(|| format!("unknown seed city {seed_city:?}"))?;
-
-    let populations = areas.census_populations();
-    let n = areas.len();
-    let centers = areas.centers();
-    // The epidemic network reuses the geometry the mobility fit already
-    // built; --no-geometry-cache falls back to the scalar path plus the
-    // dense-rows network constructor (bit-identical output).
-    let calc = if use_cache {
-        InterveningPopulation::from_geometry(std::sync::Arc::clone(areas.geometry()), &populations)
-    } else {
-        InterveningPopulation::build_direct(&centers, &populations)
-    };
-    let intervening: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| if i == j { 0.0 } else { calc.s(i, j) })
-                .collect()
-        })
-        .collect();
-    let network = if use_cache {
-        MobilityNetwork::from_model_geometry(
-            &report.gravity2,
-            populations,
-            areas.geometry(),
-            &intervening,
-            0.02,
-        )?
-    } else {
-        let distances: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| tweetmob_geo::haversine_km(centers[i], centers[j]))
-                    .collect()
-            })
-            .collect();
-        MobilityNetwork::from_model(
-            &report.gravity2,
-            populations,
-            &distances,
-            &intervening,
-            0.02,
-        )?
-    };
+    let n = bundle.len();
+    let gravity_gamma = bundle.models().gravity2.gamma;
+    let network = MobilityNetwork::from_artifact(&bundle, ModelKind::Gravity2, 0.02)?;
 
     let mut scenario = OutbreakScenario::new(network, beta, gamma).seed(seed_patch, 20.0);
     let immune: f64 = args.get_parsed("immune", 0.0)?;
@@ -277,7 +392,7 @@ pub fn epidemic(args: &Args) -> Result<()> {
     println!(
         "outbreak seeded in {seed_city} (β = {beta}, γ = {gamma}, R0 ≈ {:.1}), gravity γ = {:.2}",
         beta / gamma,
-        report.gravity2.gamma
+        gravity_gamma
     );
     println!(
         "{:<16} {:>12} {:>14} {:>14}",
@@ -293,7 +408,7 @@ pub fn epidemic(args: &Args) -> Result<()> {
     for (p, arrival) in rows {
         println!(
             "{:<16} {:>12} {:>14.0} {:>14.0}",
-            areas.areas()[p].name,
+            bundle.areas()[p].name,
             arrival.map_or("never".into(), |t| format!("{t:.0}")),
             timeline.peak_infected(p),
             timeline.final_size(p)

@@ -7,7 +7,9 @@
 //! tweetmob population out.jsonl --scale national
 //! tweetmob mobility out.jsonl --scale state --extended
 //! tweetmob mobility out.jsonl --scale national --metrics-out metrics.json --trace
-//! tweetmob epidemic out.jsonl --beta 0.5 --gamma 0.2 --seed-city Sydney
+//! tweetmob fit out.jsonl --artifact-out models.tma
+//! tweetmob predict --artifact-in models.tma --origin Sydney --top 5
+//! tweetmob epidemic --artifact-in models.tma --beta 0.5 --gamma 0.2
 //! ```
 //!
 //! Datasets are JSONL (default), CSV, or the compact binary `.twb`
@@ -40,7 +42,22 @@ COMMANDS:
         --scale S                national | state | metro      [default national]
         --census                 use census (not Twitter) populations
         --extended               add Exp/Tanner/IPF model ablations
+        --artifact-out PATH      also save the fitted models as an artifact
+    fit <dataset>                fit models and save a reusable artifact
+        --artifact-out PATH      where to write the artifact   [required]
+        --scale S                national | state | metro      [default national]
+        --census                 use census (not Twitter) populations
+    predict                      answer flow queries from fitted models
+        --artifact-in PATH       load a saved artifact (no dataset, no refit)
+        --fit DATASET            ... or fit inline from a dataset
+        --origin AREA            origin area name              [required]
+        --dest AREA              pairwise query to one destination
+        --top K                  ... or rank the top-K destinations [default 5]
+        --model M                gravity4|gravity2|radiation|opportunities|all
+        --json                   machine-readable output
+        --scale S / --census     scale and populations for --fit
     epidemic <dataset>           SIR/SEIR outbreak over fitted gravity flows
+        --artifact-in PATH       use a saved artifact instead of a dataset
         --beta X                 transmission rate per day     [default 0.5]
         --gamma X                recovery rate per day         [default 0.2]
         --sigma X                incubation rate (enables SEIR)
@@ -88,10 +105,29 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "generate" => (commands::generate, &["users", "seed"], &[]),
         "summary" => (commands::summary, &[], &[]),
         "population" => (commands::population, &["scale", "radius"], &[]),
-        "mobility" => (commands::mobility, &["scale"], &["census", "extended"]),
+        "mobility" => (
+            commands::mobility,
+            &["scale", "artifact-out"],
+            &["census", "extended"],
+        ),
+        "fit" => (commands::fit, &["scale", "artifact-out"], &["census"]),
+        "predict" => (
+            commands::predict,
+            &[
+                "artifact-in",
+                "fit",
+                "scale",
+                "model",
+                "origin",
+                "dest",
+                "top",
+            ],
+            &["census", "json"],
+        ),
         "epidemic" => (
             commands::epidemic,
             &[
+                "artifact-in",
                 "beta",
                 "gamma",
                 "sigma",

@@ -8,11 +8,12 @@ use crate::population::{
 use crate::trips::extract_trips;
 use serde::Serialize;
 use std::fmt;
-use tweetmob_data::TweetDataset;
-use tweetmob_geo::GridIndex;
+use std::sync::Arc;
+use tweetmob_data::{BundleArea, BundleMeta, ModelBundle, TweetDataset};
+use tweetmob_geo::{GridIndex, PairGeometry};
 use tweetmob_models::{
-    evaluate, FlowObservation, Gravity2Fit, Gravity4Fit, InterveningPopulation, ModelError,
-    ModelEvaluation, OpportunitiesFit, RadiationFit,
+    evaluate, FittedModelSet, FlowObservation, Gravity2Fit, Gravity4Fit, InterveningPopulation,
+    ModelError, ModelEvaluation, OpportunitiesFit, RadiationFit,
 };
 use tweetmob_stats::StatsError;
 
@@ -28,6 +29,30 @@ pub enum PopulationSource {
     Twitter,
     /// Gazetteer census populations (the paper's future-work proposal).
     Census,
+}
+
+impl PopulationSource {
+    /// Stable lowercase key, as recorded in artifact bundles and
+    /// accepted by the CLI (`"twitter"` / `"census"`).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            PopulationSource::Twitter => "twitter",
+            PopulationSource::Census => "census",
+        }
+    }
+
+    /// Parses the stable key back (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("twitter") {
+            Some(PopulationSource::Twitter)
+        } else if s.eq_ignore_ascii_case("census") {
+            Some(PopulationSource::Census)
+        } else {
+            None
+        }
+    }
 }
 
 /// Everything the mobility experiment produces for one area set: the
@@ -231,6 +256,9 @@ impl<'a> Experiment<'a> {
 
     /// Mobility experiment over a custom area set and population source.
     ///
+    /// Thin wrapper over [`Experiment::fit_with`] that discards the
+    /// artifact bundle; results are identical.
+    ///
     /// # Errors
     ///
     /// As [`Experiment::mobility`].
@@ -240,6 +268,41 @@ impl<'a> Experiment<'a> {
         source: PopulationSource,
         label: String,
     ) -> Result<MobilityReport, ExperimentError> {
+        self.fit_with(areas, source, label)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Experiment::fit_with`] at a paper scale with Twitter-derived
+    /// populations — the fit side of the fit-once / predict-many split.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::mobility`].
+    pub fn fit(&self, scale: Scale) -> Result<(MobilityReport, ModelBundle), ExperimentError> {
+        self.fit_with(
+            &AreaSet::of_scale(scale),
+            PopulationSource::Twitter,
+            scale.name().to_string(),
+        )
+    }
+
+    /// Mobility fitting that also assembles the persistable
+    /// [`ModelBundle`]: the four fitted artifacts, the area metadata
+    /// and population vector they were fitted against, and the shared
+    /// pairwise geometry (an [`Arc`] clone of the area set's cache, so
+    /// saving an artifact adds no geometry rebuild). Predictions made
+    /// through the bundle are bit-identical to predicting with the
+    /// report's fits directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::mobility`].
+    pub fn fit_with(
+        &self,
+        areas: &AreaSet,
+        source: PopulationSource,
+        label: String,
+    ) -> Result<(MobilityReport, ModelBundle), ExperimentError> {
         let od = extract_trips(self.dataset, areas);
         let populations = match source {
             PopulationSource::Census => areas.census_populations(),
@@ -267,8 +330,8 @@ impl<'a> Experiment<'a> {
             evaluate(&radiation, &observations)?,
             evaluate(&opportunities, &observations)?,
         ];
-        Ok(MobilityReport {
-            label,
+        let report = MobilityReport {
+            label: label.clone(),
             od_total: od.total(),
             nonzero_pairs: od.nonzero_pairs(),
             observations,
@@ -277,7 +340,37 @@ impl<'a> Experiment<'a> {
             radiation,
             opportunities,
             evaluations,
-        })
+        };
+        let geometry = if self.geometry_cache {
+            Arc::clone(areas.geometry())
+        } else {
+            Arc::new(PairGeometry::build_direct(&areas.centers()))
+        };
+        let bundle = ModelBundle::new(
+            BundleMeta {
+                label,
+                population_source: source.key().to_string(),
+                radius_km: areas.radius_km(),
+            },
+            areas
+                .areas()
+                .iter()
+                .map(|a| BundleArea {
+                    name: a.name.to_string(),
+                    center: a.center,
+                    census_population: a.population as f64,
+                })
+                .collect(),
+            populations,
+            FittedModelSet {
+                gravity4,
+                gravity2,
+                radiation,
+                opportunities,
+            },
+            geometry,
+        );
+        Ok((report, bundle))
     }
 
     /// Table II: the three scales with their model scores.
@@ -482,6 +575,59 @@ mod tests {
             serde_json::to_string(&cached).unwrap(),
             serde_json::to_string(&direct).unwrap()
         );
+    }
+
+    #[test]
+    fn fit_bundle_round_trips_and_bit_matches_report() {
+        use tweetmob_models::{MobilityModel, ModelKind};
+        let exp = Experiment::new(medium());
+        let (report, bundle) = exp.fit(Scale::National).unwrap();
+        assert_eq!(bundle.len(), 20);
+        assert_eq!(bundle.meta().population_source, "twitter");
+        assert_eq!(bundle.models().gravity2, report.gravity2);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let loaded = ModelBundle::load(&buf[..]).unwrap();
+        assert_eq!(loaded.models(), bundle.models());
+        for (i, j) in [(0usize, 1usize), (3, 7), (19, 0)] {
+            let obs = bundle.observation(i, j);
+            assert_eq!(
+                loaded.predict(ModelKind::Gravity4, i, j).to_bits(),
+                report.gravity4.predict(&obs).to_bits()
+            );
+            assert_eq!(
+                loaded.predict(ModelKind::Radiation, i, j).to_bits(),
+                report.radiation.predict(&obs).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mobility_with_matches_fit_with_report() {
+        let exp = Experiment::new(medium());
+        let areas = AreaSet::of_scale(Scale::National);
+        let via_wrapper = exp
+            .mobility_with(&areas, PopulationSource::Twitter, "x".into())
+            .unwrap();
+        let (via_fit, _) = exp
+            .fit_with(&areas, PopulationSource::Twitter, "x".into())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&via_wrapper).unwrap(),
+            serde_json::to_string(&via_fit).unwrap()
+        );
+    }
+
+    #[test]
+    fn population_source_keys_round_trip() {
+        for source in [PopulationSource::Twitter, PopulationSource::Census] {
+            assert_eq!(PopulationSource::parse(source.key()), Some(source));
+        }
+        assert_eq!(
+            PopulationSource::parse("CENSUS"),
+            Some(PopulationSource::Census)
+        );
+        assert_eq!(PopulationSource::parse("lidar"), None);
     }
 
     #[test]

@@ -1,0 +1,869 @@
+//! Model-artifact bundle: the fit-once / predict-many container.
+//!
+//! A [`ModelBundle`] is everything a serving process needs to answer
+//! mobility queries without refitting: the four fitted model artifacts
+//! ([`FittedModelSet`]), the area metadata and populations they were
+//! fitted against, and the pairwise geometry cache — persisted in one
+//! versioned binary container and reloaded behind an [`Arc`]-shared
+//! geometry so all threads predict from the same immutable state.
+//!
+//! The container follows the `.twb` conventions of [`crate::binary`]
+//! (magic, little-endian fixed-width fields, `bytes` cursors) with a
+//! section layout for forward compatibility:
+//!
+//! ```text
+//! offset size  field
+//! 0      4     magic  b"TMA0"
+//! 4      4     schema version (u32 LE) — currently 1
+//! 8      4     section count (u32 LE)
+//! 12     …     sections: tag [u8;4] | payload len (u64 LE) | payload
+//! ```
+//!
+//! Sections (all required, order not significant; unknown tags are
+//! skipped so older readers survive additive extensions):
+//!
+//! * `META` — label, population source (u16-length strings), search
+//!   radius (f64 bits);
+//! * `AREA` — count, then per area: name, centre lat/lon, census
+//!   population;
+//! * `POPS` — the population vector the models were fitted against;
+//! * `MODL` — the fitted parameters of all four models;
+//! * `GEOM` — the serialized [`PairGeometry`]
+//!   ([`PairGeometry::to_bytes`], itself versioned).
+//!
+//! Every float travels as its IEEE-754 bit pattern, so a loaded bundle
+//! predicts **bit-identically** to the in-memory fit it was saved from
+//! — the acceptance contract of the artifact layer, asserted end to end
+//! in `tests/artifacts.rs`.
+//!
+//! Malformed containers surface as [`IoError::Format`]; saving and
+//! loading record `artifact/save`/`artifact/load` spans plus
+//! `artifact/{save_ns,load_ns,bytes}` gauges.
+
+use crate::io::IoError;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use tweetmob_geo::{PairGeometry, Point};
+use tweetmob_models::{
+    FittedModelSet, FlowObservation, Gravity2Fit, Gravity4Fit, InterveningPopulation, ModelKind,
+    OpportunitiesFit, RadiationFit,
+};
+
+/// Magic bytes opening a model-artifact bundle ("TweetMob Artifact").
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"TMA0";
+/// Schema version of the bundle container. Bump on any layout change;
+/// readers reject versions they do not know.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+const TAG_META: [u8; 4] = *b"META";
+const TAG_AREA: [u8; 4] = *b"AREA";
+const TAG_POPS: [u8; 4] = *b"POPS";
+const TAG_MODL: [u8; 4] = *b"MODL";
+const TAG_GEOM: [u8; 4] = *b"GEOM";
+
+/// Experiment provenance stored in a bundle's `META` section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleMeta {
+    /// Experiment label (e.g. the scale name the CLI fitted at).
+    pub label: String,
+    /// Where the fitting populations came from ("twitter" / "census").
+    pub population_source: String,
+    /// Search radius ε of the area set, km.
+    pub radius_km: f64,
+}
+
+/// One area's metadata inside a bundle — enough to answer name-based
+/// queries and to seed downstream consumers (the epidemic network uses
+/// the census population).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleArea {
+    /// Area name, unique within the bundle (case-insensitive lookup).
+    pub name: String,
+    /// Area centre.
+    pub center: Point,
+    /// Census population of the area.
+    pub census_population: f64,
+}
+
+/// The persistable fit-once / predict-many artifact: fitted models,
+/// the data they were fitted against, and the shared geometry cache.
+///
+/// The intervening-population structure is **derived** state — it is a
+/// deterministic function of the geometry and populations — so it is
+/// rebuilt on construction and never serialized; a loaded bundle is
+/// indistinguishable from the one that was saved.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    meta: BundleMeta,
+    areas: Vec<BundleArea>,
+    populations: Vec<f64>,
+    models: FittedModelSet,
+    geometry: Arc<PairGeometry>,
+    intervening: InterveningPopulation,
+}
+
+impl ModelBundle {
+    /// Assembles a bundle from its parts, rebuilding the derived
+    /// intervening-population rankings.
+    ///
+    /// # Panics
+    ///
+    /// If `areas`, `populations` and `geometry` do not agree in length.
+    #[must_use]
+    pub fn new(
+        meta: BundleMeta,
+        areas: Vec<BundleArea>,
+        populations: Vec<f64>,
+        models: FittedModelSet,
+        geometry: Arc<PairGeometry>,
+    ) -> Self {
+        assert_eq!(
+            areas.len(),
+            populations.len(),
+            "areas and populations must align"
+        );
+        assert_eq!(
+            geometry.len(),
+            populations.len(),
+            "geometry and populations must align"
+        );
+        let intervening = InterveningPopulation::from_geometry(Arc::clone(&geometry), &populations);
+        Self {
+            meta,
+            areas,
+            populations,
+            models,
+            geometry,
+            intervening,
+        }
+    }
+
+    /// Experiment provenance.
+    #[must_use]
+    pub fn meta(&self) -> &BundleMeta {
+        &self.meta
+    }
+
+    /// Area metadata, in fitting order.
+    #[must_use]
+    pub fn areas(&self) -> &[BundleArea] {
+        &self.areas
+    }
+
+    /// The population vector the models were fitted against, aligned
+    /// with [`ModelBundle::areas`].
+    #[must_use]
+    pub fn populations(&self) -> &[f64] {
+        &self.populations
+    }
+
+    /// The four fitted model artifacts.
+    #[must_use]
+    pub fn models(&self) -> &FittedModelSet {
+        &self.models
+    }
+
+    /// The shared pairwise geometry cache (cheap to clone and hand to
+    /// any number of prediction threads).
+    #[must_use]
+    pub fn geometry(&self) -> &Arc<PairGeometry> {
+        &self.geometry
+    }
+
+    /// The derived intervening-population structure over the bundle's
+    /// populations and geometry.
+    #[must_use]
+    pub fn intervening(&self) -> &InterveningPopulation {
+        &self.intervening
+    }
+
+    /// Number of areas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Whether the bundle covers no areas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// Index of the area with this name (case-insensitive), if any.
+    #[must_use]
+    pub fn area_index(&self, name: &str) -> Option<usize> {
+        self.areas
+            .iter()
+            .position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The prediction-ready observation for an origin–destination pair:
+    /// populations from the bundle, distance from the geometry cache,
+    /// intervening population from the derived rankings,
+    /// `observed_flow` zero (prediction ignores it).
+    ///
+    /// # Panics
+    ///
+    /// If an index is out of range, or `origin == dest`.
+    #[must_use]
+    pub fn observation(&self, origin: usize, dest: usize) -> FlowObservation {
+        assert!(
+            origin < self.len() && dest < self.len(),
+            "area index out of range"
+        );
+        assert_ne!(origin, dest, "self-pair has no flow observation");
+        FlowObservation {
+            origin_population: self.populations[origin],
+            dest_population: self.populations[dest],
+            distance_km: self.geometry.distance(origin, dest),
+            intervening_population: self.intervening.s(origin, dest),
+            observed_flow: 0.0,
+        }
+    }
+
+    /// Predicted flow of one model for an origin–destination pair.
+    ///
+    /// # Panics
+    ///
+    /// As [`ModelBundle::observation`].
+    #[must_use]
+    pub fn predict(&self, kind: ModelKind, origin: usize, dest: usize) -> f64 {
+        self.models.predict(kind, &self.observation(origin, dest))
+    }
+
+    /// The `k` destinations with the largest predicted flow from
+    /// `origin`, as `(area index, predicted flow)` descending.
+    /// Deterministic: ties break toward the smaller area index
+    /// (`total_cmp`, no thread-count or load-order sensitivity).
+    ///
+    /// # Panics
+    ///
+    /// If `origin` is out of range.
+    #[must_use]
+    pub fn top_k(&self, kind: ModelKind, origin: usize, k: usize) -> Vec<(usize, f64)> {
+        assert!(origin < self.len(), "area index out of range");
+        let mut scored: Vec<(usize, f64)> = (0..self.len())
+            .filter(|&dest| dest != origin)
+            .map(|dest| (dest, self.predict(kind, origin, dest)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Serializes the bundle into the container format.
+    #[must_use]
+    fn encode(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        put_str(&mut meta, &self.meta.label);
+        put_str(&mut meta, &self.meta.population_source);
+        meta.put_f64_le(self.meta.radius_km);
+
+        let mut area = Vec::new();
+        area.put_u32_le(clamp_u32(self.areas.len()));
+        for a in &self.areas {
+            put_str(&mut area, &a.name);
+            area.put_f64_le(a.center.lat);
+            area.put_f64_le(a.center.lon);
+            area.put_f64_le(a.census_population);
+        }
+
+        let mut pops = Vec::new();
+        pops.put_u32_le(clamp_u32(self.populations.len()));
+        for &p in &self.populations {
+            pops.put_f64_le(p);
+        }
+
+        let mut modl = Vec::new();
+        let m = &self.models;
+        for v in [
+            m.gravity4.c,
+            m.gravity4.alpha,
+            m.gravity4.beta,
+            m.gravity4.gamma,
+            m.gravity4.log_r_squared,
+        ] {
+            modl.put_f64_le(v);
+        }
+        modl.put_u64_le(m.gravity4.n_used as u64);
+        for v in [m.gravity2.c, m.gravity2.gamma, m.gravity2.log_r_squared] {
+            modl.put_f64_le(v);
+        }
+        modl.put_u64_le(m.gravity2.n_used as u64);
+        modl.put_f64_le(m.radiation.c);
+        modl.put_u64_le(m.radiation.n_used as u64);
+        modl.put_f64_le(m.opportunities.c);
+        modl.put_u64_le(m.opportunities.n_used as u64);
+
+        let geom = self.geometry.to_bytes();
+
+        let sections: [(&[u8; 4], &[u8]); 5] = [
+            (&TAG_META, &meta),
+            (&TAG_AREA, &area),
+            (&TAG_POPS, &pops),
+            (&TAG_MODL, &modl),
+            (&TAG_GEOM, &geom),
+        ];
+        let body: usize = sections.iter().map(|(_, p)| 4 + 8 + p.len()).sum();
+        let mut out = Vec::with_capacity(12 + body);
+        out.put_slice(&ARTIFACT_MAGIC);
+        out.put_u32_le(ARTIFACT_VERSION);
+        out.put_u32_le(sections.len() as u32);
+        for (tag, payload) in sections {
+            out.put_slice(tag);
+            out.put_u64_le(payload.len() as u64);
+            out.put_slice(payload);
+        }
+        out
+    }
+
+    /// Parses a container produced by [`ModelBundle::encode`].
+    fn decode(bytes: &[u8]) -> Result<Self, IoError> {
+        let mut r = Reader { rem: bytes };
+        let magic = r.take(4, "magic")?;
+        if magic != ARTIFACT_MAGIC {
+            return Err(format_err(format!(
+                "bad magic {magic:?}, expected {ARTIFACT_MAGIC:?}"
+            )));
+        }
+        let version = r.u32("version")?;
+        if version != ARTIFACT_VERSION {
+            return Err(format_err(format!(
+                "unsupported artifact version {version} (reader supports {ARTIFACT_VERSION})"
+            )));
+        }
+        let n_sections = r.u32("section count")?;
+
+        let mut meta: Option<BundleMeta> = None;
+        let mut areas: Option<Vec<BundleArea>> = None;
+        let mut populations: Option<Vec<f64>> = None;
+        let mut models: Option<FittedModelSet> = None;
+        let mut geometry: Option<Arc<PairGeometry>> = None;
+
+        for _ in 0..n_sections {
+            let mut tag = [0u8; 4];
+            tag.copy_from_slice(r.take(4, "section tag")?);
+            let len = r.u64("section length")?;
+            let len = usize::try_from(len)
+                .map_err(|_| format_err(format!("implausible section length {len}")))?;
+            let payload = r.take(len, "section payload")?;
+            match tag {
+                TAG_META => {
+                    set_once(&mut meta, decode_meta(payload)?, "META")?;
+                }
+                TAG_AREA => {
+                    set_once(&mut areas, decode_areas(payload)?, "AREA")?;
+                }
+                TAG_POPS => {
+                    set_once(&mut populations, decode_pops(payload)?, "POPS")?;
+                }
+                TAG_MODL => {
+                    set_once(&mut models, decode_models(payload)?, "MODL")?;
+                }
+                TAG_GEOM => {
+                    let geo =
+                        PairGeometry::from_bytes(payload).map_err(|e| format_err(e.to_string()))?;
+                    set_once(&mut geometry, Arc::new(geo), "GEOM")?;
+                }
+                // Unknown section: a newer writer added something this
+                // reader does not understand — skip it.
+                _ => {}
+            }
+        }
+        if !r.rem.is_empty() {
+            return Err(format_err(format!(
+                "{} trailing bytes after final section",
+                r.rem.len()
+            )));
+        }
+
+        let meta = meta.ok_or_else(|| format_err("missing META section".into()))?;
+        let areas = areas.ok_or_else(|| format_err("missing AREA section".into()))?;
+        let populations = populations.ok_or_else(|| format_err("missing POPS section".into()))?;
+        let models = models.ok_or_else(|| format_err("missing MODL section".into()))?;
+        let geometry = geometry.ok_or_else(|| format_err("missing GEOM section".into()))?;
+
+        if areas.len() != populations.len() || geometry.len() != populations.len() {
+            return Err(format_err(format!(
+                "section length mismatch: {} areas, {} populations, {} geometry points",
+                areas.len(),
+                populations.len(),
+                geometry.len()
+            )));
+        }
+        Ok(Self::new(meta, areas, populations, models, geometry))
+    }
+
+    /// Writes the bundle to a stream, recording the `artifact/save`
+    /// span and the `artifact/{save_ns,bytes}` gauges.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] on write failure.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), IoError> {
+        let encoded = {
+            let _span = tweetmob_obs::span!("artifact/save");
+            self.encode()
+        };
+        w.write_all(&encoded)?;
+        let save_ns = tweetmob_obs::global()
+            .span_stat("artifact/save")
+            .map_or(0, |s| s.total_ns);
+        tweetmob_obs::gauge!("artifact/save_ns").set(i64::try_from(save_ns).unwrap_or(i64::MAX));
+        tweetmob_obs::gauge!("artifact/bytes")
+            .set(i64::try_from(encoded.len()).unwrap_or(i64::MAX));
+        Ok(())
+    }
+
+    /// Reads a bundle written by [`ModelBundle::save`], recording the
+    /// `artifact/load` span and the `artifact/{load_ns,bytes}` gauges.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] on read failure; [`IoError::Format`] on a
+    /// malformed or version-incompatible container (no path attached —
+    /// callers that know the file name add it with
+    /// [`IoError::with_path`]).
+    pub fn load<R: Read>(mut r: R) -> Result<Self, IoError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let bundle = {
+            let _span = tweetmob_obs::span!("artifact/load");
+            Self::decode(&bytes)?
+        };
+        let load_ns = tweetmob_obs::global()
+            .span_stat("artifact/load")
+            .map_or(0, |s| s.total_ns);
+        tweetmob_obs::gauge!("artifact/load_ns").set(i64::try_from(load_ns).unwrap_or(i64::MAX));
+        tweetmob_obs::gauge!("artifact/bytes").set(i64::try_from(bytes.len()).unwrap_or(i64::MAX));
+        Ok(bundle)
+    }
+
+    /// [`ModelBundle::save`] to a file path, which is attached to any
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelBundle::save`].
+    pub fn save_file(&self, path: &str) -> Result<(), IoError> {
+        let file = std::fs::File::create(path).map_err(IoError::Io)?;
+        self.save(std::io::BufWriter::new(file))
+            .map_err(|e| e.with_path(path))
+    }
+
+    /// [`ModelBundle::load`] from a file path, which is attached to any
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelBundle::load`].
+    pub fn load_file(path: &str) -> Result<Self, IoError> {
+        let file = std::fs::File::open(path).map_err(IoError::Io)?;
+        Self::load(std::io::BufReader::new(file)).map_err(|e| e.with_path(path))
+    }
+}
+
+fn format_err(message: String) -> IoError {
+    IoError::Format {
+        path: String::new(),
+        message,
+    }
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, tag: &str) -> Result<(), IoError> {
+    if slot.is_some() {
+        return Err(format_err(format!("duplicate {tag} section")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Area/population counts fit in u32 by construction (the paper's
+/// scales have ≤ 20 areas); saturate rather than truncate if a caller
+/// somehow exceeds it — the load-side length cross-check then rejects
+/// the container instead of silently corrupting it.
+fn clamp_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let raw = s.as_bytes();
+    let len = u16::try_from(raw.len()).unwrap_or(u16::MAX);
+    buf.put_u16_le(len);
+    buf.put_slice(&raw[..usize::from(len)]);
+}
+
+/// Bounds-checked little-endian reader over a byte slice: malformed
+/// input surfaces as [`IoError::Format`], never a panic.
+struct Reader<'a> {
+    rem: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], IoError> {
+        if self.rem.len() < n {
+            return Err(format_err(format!(
+                "truncated while reading {what}: need {n} bytes, have {}",
+                self.rem.len()
+            )));
+        }
+        let (head, tail) = self.rem.split_at(n);
+        self.rem = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, IoError> {
+        Ok(self.take(2, what)?.get_u16_le())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, IoError> {
+        Ok(self.take(4, what)?.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, IoError> {
+        Ok(self.take(8, what)?.get_u64_le())
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, IoError> {
+        Ok(self.take(8, what)?.get_f64_le())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, IoError> {
+        let len = usize::from(self.u16(what)?);
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| format_err(format!("{what} is not valid UTF-8")))
+    }
+
+    fn usize_from_u64(&mut self, what: &str) -> Result<usize, IoError> {
+        let raw = self.u64(what)?;
+        usize::try_from(raw).map_err(|_| format_err(format!("implausible {what} {raw}")))
+    }
+
+    fn finish(self, what: &str) -> Result<(), IoError> {
+        if self.rem.is_empty() {
+            Ok(())
+        } else {
+            Err(format_err(format!(
+                "{} trailing bytes in {what} section",
+                self.rem.len()
+            )))
+        }
+    }
+}
+
+fn decode_meta(payload: &[u8]) -> Result<BundleMeta, IoError> {
+    let mut r = Reader { rem: payload };
+    let label = r.string("meta label")?;
+    let population_source = r.string("meta population source")?;
+    let radius_km = r.f64("meta radius")?;
+    r.finish("META")?;
+    Ok(BundleMeta {
+        label,
+        population_source,
+        radius_km,
+    })
+}
+
+fn decode_areas(payload: &[u8]) -> Result<Vec<BundleArea>, IoError> {
+    let mut r = Reader { rem: payload };
+    let count = r.u32("area count")?;
+    let mut areas = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        let name = r.string("area name")?;
+        let lat = r.f64("area latitude")?;
+        let lon = r.f64("area longitude")?;
+        let census_population = r.f64("area census population")?;
+        let center = Point::new(lat, lon)
+            .map_err(|e| format_err(format!("area {name:?}: invalid centre: {e}")))?;
+        areas.push(BundleArea {
+            name,
+            center,
+            census_population,
+        });
+    }
+    r.finish("AREA")?;
+    Ok(areas)
+}
+
+fn decode_pops(payload: &[u8]) -> Result<Vec<f64>, IoError> {
+    let mut r = Reader { rem: payload };
+    let count = r.u32("population count")?;
+    let mut pops = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        pops.push(r.f64("population")?);
+    }
+    r.finish("POPS")?;
+    Ok(pops)
+}
+
+fn decode_models(payload: &[u8]) -> Result<FittedModelSet, IoError> {
+    let mut r = Reader { rem: payload };
+    let gravity4 = Gravity4Fit {
+        c: r.f64("gravity4 c")?,
+        alpha: r.f64("gravity4 alpha")?,
+        beta: r.f64("gravity4 beta")?,
+        gamma: r.f64("gravity4 gamma")?,
+        log_r_squared: r.f64("gravity4 r²")?,
+        n_used: r.usize_from_u64("gravity4 n_used")?,
+    };
+    let gravity2 = Gravity2Fit {
+        c: r.f64("gravity2 c")?,
+        gamma: r.f64("gravity2 gamma")?,
+        log_r_squared: r.f64("gravity2 r²")?,
+        n_used: r.usize_from_u64("gravity2 n_used")?,
+    };
+    let radiation = RadiationFit {
+        c: r.f64("radiation c")?,
+        n_used: r.usize_from_u64("radiation n_used")?,
+    };
+    let opportunities = OpportunitiesFit {
+        c: r.f64("opportunities c")?,
+        n_used: r.usize_from_u64("opportunities n_used")?,
+    };
+    r.finish("MODL")?;
+    Ok(FittedModelSet {
+        gravity4,
+        gravity2,
+        radiation,
+        opportunities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tweetmob_models::FittedModel;
+
+    fn scatter(count: usize, seed: u64) -> Vec<Point> {
+        let mut k = seed;
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        (0..count)
+            .map(|_| Point::new_unchecked(next(-44.0, -10.0), next(113.0, 154.0)))
+            .collect()
+    }
+
+    fn sample_bundle(n: usize, seed: u64) -> ModelBundle {
+        let centers = scatter(n, seed);
+        let geometry = PairGeometry::shared(&centers);
+        let mut k = seed.wrapping_mul(31).wrapping_add(7);
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        let populations: Vec<f64> = (0..n).map(|_| next(1e3, 1e6)).collect();
+        let intervening = InterveningPopulation::from_geometry(Arc::clone(&geometry), &populations);
+        let mut obs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let o = FlowObservation {
+                    origin_population: populations[i],
+                    dest_population: populations[j],
+                    distance_km: geometry.distance(i, j),
+                    intervening_population: intervening.s(i, j),
+                    observed_flow: 0.01 * populations[i] * populations[j]
+                        / (geometry.distance(i, j) * geometry.distance(i, j)),
+                };
+                obs.push(o);
+            }
+        }
+        let models = FittedModelSet::fit(&obs).unwrap();
+        let areas: Vec<BundleArea> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &center)| BundleArea {
+                name: format!("Area {i}"),
+                center,
+                census_population: populations[i] * 1.5,
+            })
+            .collect();
+        ModelBundle::new(
+            BundleMeta {
+                label: "test".into(),
+                population_source: "twitter".into(),
+                radius_km: 50.0,
+            },
+            areas,
+            populations,
+            models,
+            geometry,
+        )
+    }
+
+    #[test]
+    fn save_load_round_trip_is_byte_identical() {
+        let bundle = sample_bundle(8, 17);
+        let mut first = Vec::new();
+        bundle.save(&mut first).unwrap();
+        let loaded = ModelBundle::load(&first[..]).unwrap();
+        let mut second = Vec::new();
+        loaded.save(&mut second).unwrap();
+        assert_eq!(first, second, "re-encoding must be canonical");
+        assert_eq!(loaded.meta(), bundle.meta());
+        assert_eq!(loaded.areas(), bundle.areas());
+        assert_eq!(loaded.models(), bundle.models());
+        assert_eq!(
+            loaded
+                .populations()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+            bundle
+                .populations()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn loaded_predictions_bit_match_the_original() {
+        let bundle = sample_bundle(7, 3);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let loaded = ModelBundle::load(&buf[..]).unwrap();
+        for kind in ModelKind::ALL {
+            for i in 0..bundle.len() {
+                for j in 0..bundle.len() {
+                    if i == j {
+                        continue;
+                    }
+                    assert_eq!(
+                        bundle.predict(kind, i, j).to_bits(),
+                        loaded.predict(kind, i, j).to_bits(),
+                        "{kind} {i}->{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_descending_and_deterministic() {
+        let bundle = sample_bundle(9, 5);
+        let top = bundle.top_k(ModelKind::Gravity2, 0, 4);
+        assert_eq!(top.len(), 4);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(top.iter().all(|&(j, _)| j != 0));
+        // k larger than the area count is clamped.
+        assert_eq!(bundle.top_k(ModelKind::Gravity2, 0, 100).len(), 8);
+        // Deterministic across repeated evaluation.
+        assert_eq!(top, bundle.top_k(ModelKind::Gravity2, 0, 4));
+    }
+
+    #[test]
+    fn observation_matches_its_parts() {
+        let bundle = sample_bundle(6, 29);
+        let obs = bundle.observation(1, 4);
+        assert_eq!(
+            obs.origin_population.to_bits(),
+            bundle.populations()[1].to_bits()
+        );
+        assert_eq!(
+            obs.distance_km.to_bits(),
+            bundle.geometry().distance(1, 4).to_bits()
+        );
+        assert_eq!(
+            obs.intervening_population.to_bits(),
+            bundle.intervening().s(1, 4).to_bits()
+        );
+        assert_eq!(obs.observed_flow, 0.0);
+        let direct = bundle.models().gravity4.predict_flow(&obs);
+        assert_eq!(
+            bundle.predict(ModelKind::Gravity4, 1, 4).to_bits(),
+            direct.to_bits()
+        );
+    }
+
+    #[test]
+    fn area_lookup_is_case_insensitive() {
+        let bundle = sample_bundle(4, 11);
+        assert_eq!(bundle.area_index("area 2"), Some(2));
+        assert_eq!(bundle.area_index("AREA 0"), Some(0));
+        assert_eq!(bundle.area_index("nowhere"), None);
+    }
+
+    #[test]
+    fn corrupt_containers_are_format_errors() {
+        let bundle = sample_bundle(5, 41);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ModelBundle::load(&bad[..]),
+            Err(IoError::Format { .. })
+        ));
+
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        match ModelBundle::load(&bad[..]) {
+            Err(IoError::Format { message, .. }) => assert!(message.contains("version")),
+            other => panic!("expected version error, got {other:?}"),
+        }
+
+        let truncated = &buf[..buf.len() - 3];
+        assert!(matches!(
+            ModelBundle::load(truncated),
+            Err(IoError::Format { .. })
+        ));
+
+        let mut trailing = buf.clone();
+        trailing.extend_from_slice(b"junk");
+        assert!(matches!(
+            ModelBundle::load(&trailing[..]),
+            Err(IoError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let bundle = sample_bundle(4, 53);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        // Append an unknown section and bump the section count.
+        let count = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        buf[8..12].copy_from_slice(&(count + 1).to_le_bytes());
+        buf.extend_from_slice(b"XTRA");
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let loaded = ModelBundle::load(&buf[..]).unwrap();
+        assert_eq!(loaded.meta(), bundle.meta());
+        assert_eq!(loaded.models(), bundle.models());
+    }
+
+    #[test]
+    fn file_errors_carry_the_path() {
+        let err = ModelBundle::load_file("/nonexistent/bundle.tma").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        let dir = std::env::temp_dir().join("tweetmob_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.tma");
+        std::fs::write(&path, b"not an artifact").unwrap();
+        let path = path.to_string_lossy().into_owned();
+        match ModelBundle::load_file(&path) {
+            Err(IoError::Format { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Format with path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_load_metrics_are_recorded() {
+        let bundle = sample_bundle(5, 71);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let _ = ModelBundle::load(&buf[..]).unwrap();
+        let registry = tweetmob_obs::global();
+        assert!(registry.span_stat("artifact/save").is_some());
+        assert!(registry.span_stat("artifact/load").is_some());
+    }
+}

@@ -66,8 +66,9 @@ pub fn write_binary<W: Write>(ds: &TweetDataset, mut w: W) -> Result<(), IoError
 /// # Errors
 ///
 /// * [`IoError::Io`] — underlying read failure or truncated stream.
-/// * [`IoError::Json`] is never produced; malformed headers surface as
-///   [`IoError::Csv`]-style structural errors with a message.
+/// * [`IoError::Format`] — bad magic, unsupported version, or an
+///   implausible record count (no path attached; callers that know the
+///   file name add it with [`IoError::with_path`]).
 /// * [`IoError::BadCoordinate`] — a record with out-of-range lat/lon.
 pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
     let _span = tweetmob_obs::span!("read_binary");
@@ -77,15 +78,15 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
     let mut magic = [0u8; 4];
     cursor.copy_to_slice(&mut magic);
     if magic != MAGIC {
-        return Err(IoError::Csv {
-            line: 0,
+        return Err(IoError::Format {
+            path: String::new(),
             message: format!("bad magic {magic:?}, expected {MAGIC:?}"),
         });
     }
     let version = cursor.get_u32_le();
     if version != VERSION {
-        return Err(IoError::Csv {
-            line: 0,
+        return Err(IoError::Format {
+            path: String::new(),
             message: format!("unsupported version {version}"),
         });
     }
@@ -93,8 +94,8 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
     // Guard absurd counts before allocating (truncated/corrupt header).
     const MAX_RECORDS: u64 = 2_000_000_000;
     if count > MAX_RECORDS {
-        return Err(IoError::Csv {
-            line: 0,
+        return Err(IoError::Format {
+            path: String::new(),
             message: format!("implausible record count {count}"),
         });
     }
@@ -111,7 +112,11 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<TweetDataset, IoError> {
             line: i as usize + 1,
             source,
         })?;
-        tweets.push(Tweet::new(UserId(user), Timestamp::from_secs(secs), location));
+        tweets.push(Tweet::new(
+            UserId(user),
+            Timestamp::from_secs(secs),
+            location,
+        ));
     }
     tweetmob_obs::counter!("data/tweets_read").add(tweets.len() as u64);
     Ok(TweetDataset::from_tweets(tweets))
@@ -149,7 +154,10 @@ mod tests {
         assert_eq!(buf.len(), HEADER_BYTES + 3 * RECORD_BYTES);
         let back = read_binary(&buf[..]).unwrap();
         assert_eq!(ds.n_tweets(), back.n_tweets());
-        assert!(ds.iter_tweets().zip(back.iter_tweets()).all(|(a, b)| a == b));
+        assert!(ds
+            .iter_tweets()
+            .zip(back.iter_tweets())
+            .all(|(a, b)| a == b));
     }
 
     #[test]
@@ -179,7 +187,10 @@ mod tests {
         write_binary(&ds, &mut buf).unwrap();
         let back = read_binary(&buf[..]).unwrap();
         assert_eq!(back.n_tweets(), 10_000);
-        assert!(ds.iter_tweets().zip(back.iter_tweets()).all(|(a, b)| a == b));
+        assert!(ds
+            .iter_tweets()
+            .zip(back.iter_tweets())
+            .all(|(a, b)| a == b));
     }
 
     #[test]
@@ -212,7 +223,7 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf[0] = b'X';
         match read_binary(&buf[..]) {
-            Err(IoError::Csv { message, .. }) => assert!(message.contains("magic")),
+            Err(IoError::Format { message, .. }) => assert!(message.contains("magic")),
             other => panic!("expected magic error, got {other:?}"),
         }
     }
@@ -223,7 +234,7 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf[4] = 99;
         match read_binary(&buf[..]) {
-            Err(IoError::Csv { message, .. }) => assert!(message.contains("version")),
+            Err(IoError::Format { message, .. }) => assert!(message.contains("version")),
             other => panic!("expected version error, got {other:?}"),
         }
     }
@@ -258,7 +269,7 @@ mod tests {
         buf.put_u32_le(VERSION);
         buf.put_u64_le(u64::MAX);
         match read_binary(&buf[..]) {
-            Err(IoError::Csv { message, .. }) => assert!(message.contains("implausible")),
+            Err(IoError::Format { message, .. }) => assert!(message.contains("implausible")),
             other => panic!("expected count guard, got {other:?}"),
         }
     }

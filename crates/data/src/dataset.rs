@@ -181,10 +181,7 @@ impl TweetDataset {
 
     /// Number of tweets per user, aligned with [`TweetDataset::unique_users`].
     pub fn tweets_per_user(&self) -> Vec<u32> {
-        self.user_starts
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect()
+        self.user_starts.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// All waiting times (seconds between consecutive tweets of the same
@@ -266,7 +263,10 @@ mod tests {
             .iter_tweets()
             .map(|tw| (tw.user.0, tw.time.as_secs()))
             .collect();
-        assert_eq!(rows, vec![(1, 100), (1, 4_000), (1, 9_000), (2, 50), (3, 10)]);
+        assert_eq!(
+            rows,
+            vec![(1, 100), (1, 4_000), (1, 9_000), (2, 50), (3, 10)]
+        );
     }
 
     #[test]
@@ -336,7 +336,8 @@ mod tests {
         assert_eq!(sliced.n_users(), 2);
         assert!(sliced.user_tweets(UserId(3)).is_none());
         // An empty window yields an empty dataset.
-        let none = ds.filter_time_range(Timestamp::from_secs(100_000), Timestamp::from_secs(200_000));
+        let none =
+            ds.filter_time_range(Timestamp::from_secs(100_000), Timestamp::from_secs(200_000));
         assert!(none.is_empty());
     }
 
@@ -352,10 +353,7 @@ mod tests {
 
     #[test]
     fn duplicate_timestamps_are_kept() {
-        let ds = TweetDataset::from_tweets(vec![
-            t(1, 100, -33.0, 151.0),
-            t(1, 100, -34.0, 152.0),
-        ]);
+        let ds = TweetDataset::from_tweets(vec![t(1, 100, -33.0, 151.0), t(1, 100, -34.0, 152.0)]);
         assert_eq!(ds.n_tweets(), 2);
         assert_eq!(ds.waiting_times_secs(), vec![0]);
     }

@@ -38,6 +38,32 @@ pub enum IoError {
         /// Validation failure.
         source: tweetmob_geo::GeoError,
     },
+    /// A malformed or unsupported binary container: bad magic, unknown
+    /// schema version, corrupt section layout. Shared by the `.twb`
+    /// dataset format and the model-artifact bundle.
+    Format {
+        /// File the container came from; empty when the source was an
+        /// anonymous stream.
+        path: String,
+        /// What was wrong with the encoding.
+        message: String,
+    },
+}
+
+impl IoError {
+    /// Attaches a file path to a [`IoError::Format`] error that was
+    /// produced from an anonymous stream; other variants pass through
+    /// unchanged.
+    #[must_use]
+    pub fn with_path(self, path: &str) -> Self {
+        match self {
+            IoError::Format { message, .. } => IoError::Format {
+                path: path.to_string(),
+                message,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -48,6 +74,12 @@ impl fmt::Display for IoError {
             IoError::Csv { line, message } => write!(f, "line {line}: bad CSV: {message}"),
             IoError::BadCoordinate { line, source } => {
                 write!(f, "line {line}: invalid coordinate: {source}")
+            }
+            IoError::Format { path, message } if path.is_empty() => {
+                write!(f, "bad container format: {message}")
+            }
+            IoError::Format { path, message } => {
+                write!(f, "{path}: bad container format: {message}")
             }
         }
     }
@@ -186,9 +218,15 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<TweetDataset, IoError> {
                 message: "too many fields".into(),
             });
         }
-        let location = Point::new(lat, lon)
-            .map_err(|source| IoError::BadCoordinate { line: lineno, source })?;
-        tweets.push(Tweet::new(UserId(user), Timestamp::from_secs(secs), location));
+        let location = Point::new(lat, lon).map_err(|source| IoError::BadCoordinate {
+            line: lineno,
+            source,
+        })?;
+        tweets.push(Tweet::new(
+            UserId(user),
+            Timestamp::from_secs(secs),
+            location,
+        ));
     }
     tweetmob_obs::counter!("data/tweets_read").add(tweets.len() as u64);
     Ok(TweetDataset::from_tweets(tweets))

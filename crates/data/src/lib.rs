@@ -15,7 +15,9 @@
 //!
 //! Serialisation: JSONL and CSV ([`io`]) for interchange, plus a
 //! compact fixed-width binary format ([`binary`]) for full-scale
-//! datasets.
+//! datasets, and the versioned model-artifact container ([`artifact`])
+//! that persists fitted models with their geometry for the
+//! fit-once / predict-many workflow.
 //!
 //! [`DatasetSummary`] reproduces the paper's Table I (coordinate ranges,
 //! tweet/user counts, average tweets per user, average waiting time,
@@ -44,6 +46,7 @@
 // `!(x > 0.0)` guards are deliberate: they also reject NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod artifact;
 pub mod binary;
 mod dataset;
 pub mod io;
@@ -51,6 +54,7 @@ mod summary;
 mod time;
 mod tweet;
 
+pub use artifact::{BundleArea, BundleMeta, ModelBundle, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use dataset::{TweetDataset, UserTweets};
 pub use summary::{ActivityBuckets, DatasetSummary};
 pub use time::{Timestamp, SECS_PER_DAY, SECS_PER_HOUR};

@@ -115,8 +115,16 @@ impl DatasetSummary {
 
 impl fmt::Display for DatasetSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Range of longitude : [{:.6}, {:.6}]", self.lon_range.0, self.lon_range.1)?;
-        writeln!(f, "Range of latitude  : [{:.6}, {:.6}]", self.lat_range.0, self.lat_range.1)?;
+        writeln!(
+            f,
+            "Range of longitude : [{:.6}, {:.6}]",
+            self.lon_range.0, self.lon_range.1
+        )?;
+        writeln!(
+            f,
+            "Range of latitude  : [{:.6}, {:.6}]",
+            self.lat_range.0, self.lat_range.1
+        )?;
         writeln!(
             f,
             "Collection period  : {} .. {} (epoch s)",
@@ -125,7 +133,11 @@ impl fmt::Display for DatasetSummary {
         writeln!(f, "No. Tweets         : {}", self.n_tweets)?;
         writeln!(f, "No. unique users   : {}", self.n_users)?;
         writeln!(f, "Avg. Tweets/user   : {:.1}", self.avg_tweets_per_user)?;
-        writeln!(f, "Avg. waiting time  : {:.1} h", self.avg_waiting_time_hours)?;
+        writeln!(
+            f,
+            "Avg. waiting time  : {:.1} h",
+            self.avg_waiting_time_hours
+        )?;
         writeln!(f, "Avg. locations/user: {:.2}", self.avg_locations_per_user)?;
         write!(
             f,
@@ -211,10 +223,7 @@ mod tests {
 
     #[test]
     fn display_contains_headline_numbers() {
-        let ds = TweetDataset::from_tweets(vec![
-            t(1, 0, -33.0, 151.0),
-            t(1, 3_600, -33.0, 151.0),
-        ]);
+        let ds = TweetDataset::from_tweets(vec![t(1, 0, -33.0, 151.0), t(1, 3_600, -33.0, 151.0)]);
         let text = DatasetSummary::of(&ds).to_string();
         assert!(text.contains("No. Tweets         : 2"));
         assert!(text.contains("Avg. waiting time  : 1.0 h"));

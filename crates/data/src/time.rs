@@ -79,8 +79,8 @@ mod tests {
 
     #[test]
     fn collection_window_is_about_seven_months() {
-        let days = Timestamp::COLLECTION_END.seconds_since(Timestamp::COLLECTION_START)
-            / SECS_PER_DAY;
+        let days =
+            Timestamp::COLLECTION_END.seconds_since(Timestamp::COLLECTION_START) / SECS_PER_DAY;
         assert_eq!(days, 241); // Sep(30)+Oct(31)+Nov(30)+Dec(31)+Jan(31)+Feb(28)+Mar(31)+Apr(30)-1 full days
     }
 

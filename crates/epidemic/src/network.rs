@@ -2,8 +2,10 @@
 
 use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
+use tweetmob_data::ModelBundle;
 use tweetmob_geo::PairGeometry;
-use tweetmob_models::{FlowObservation, MobilityModel};
+use tweetmob_models::{FlowObservation, InterveningPopulation, MobilityModel, ModelKind};
 
 /// Errors building a mobility network.
 #[derive(Debug, Clone, PartialEq)]
@@ -190,6 +192,53 @@ impl MobilityNetwork {
         Self::from_flows(populations, &flows, leave_rate)
     }
 
+    /// Builds the network straight from a loaded model-artifact bundle:
+    /// census populations and the shared geometry come from the bundle,
+    /// the intervening-population structure is rebuilt over the census
+    /// vector (the bundle's own rankings cover its *fitting*
+    /// populations), and every pairwise flow is predicted with the
+    /// chosen fitted model. Output is bit-identical to assembling the
+    /// same inputs by hand through
+    /// [`MobilityNetwork::from_model_geometry`] — the epidemic pipeline
+    /// no longer needs a dataset or a refit once an artifact exists.
+    ///
+    /// # Errors
+    ///
+    /// As [`MobilityNetwork::from_flows`].
+    pub fn from_artifact(
+        bundle: &ModelBundle,
+        kind: ModelKind,
+        leave_rate: f64,
+    ) -> Result<Self, NetworkError> {
+        let populations: Vec<f64> = bundle.areas().iter().map(|a| a.census_population).collect();
+        let geometry = bundle.geometry();
+        let n = populations.len();
+        if geometry.len() != n {
+            return Err(NetworkError::BadFlow("geometry does not cover all patches"));
+        }
+        let calc = InterveningPopulation::from_geometry(Arc::clone(geometry), &populations);
+        let mut flows = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let obs = FlowObservation {
+                    origin_population: populations[i],
+                    dest_population: populations[j],
+                    distance_km: geometry.distance(i, j),
+                    intervening_population: calc.s(i, j),
+                    observed_flow: 0.0,
+                };
+                let p = bundle.models().predict(kind, &obs);
+                if p.is_finite() && p > 0.0 {
+                    flows.push((i, j, p));
+                }
+            }
+        }
+        Self::from_flows(populations, &flows, leave_rate)
+    }
+
     /// Number of patches.
     #[inline]
     pub fn n_patches(&self) -> usize {
@@ -299,12 +348,9 @@ mod tests {
 
     #[test]
     fn scaled_network_multiplies_rates() {
-        let net = MobilityNetwork::from_flows(
-            vec![1_000.0, 2_000.0],
-            &[(0, 1, 1.0), (1, 0, 3.0)],
-            0.1,
-        )
-        .unwrap();
+        let net =
+            MobilityNetwork::from_flows(vec![1_000.0, 2_000.0], &[(0, 1, 1.0), (1, 0, 3.0)], 0.1)
+                .unwrap();
         let half = net.scaled(0.5);
         assert!((half.rate(0, 1) - net.rate(0, 1) * 0.5).abs() < 1e-15);
         assert!((half.leave_rate(1) - 0.05).abs() < 1e-12);

@@ -64,7 +64,10 @@ impl BoundingBox {
     /// Whether `p` falls inside the box (edges inclusive).
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Latitude span in degrees.

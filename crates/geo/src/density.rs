@@ -180,7 +180,8 @@ impl DensityGrid {
                 } else {
                     let level = ((c as f64).log10() / log_max * (ramp.len() - 1) as f64)
                         .round()
-                        .clamp(0.0, (ramp.len() - 1) as f64) as usize;
+                        .clamp(0.0, (ramp.len() - 1) as f64)
+                        as usize;
                     s.push(ramp[level] as char);
                 }
             }
@@ -293,7 +294,10 @@ mod tests {
         // which renders as the ramp minimum '.'.
         let dense_line = lines.iter().position(|l| l.contains('@')).unwrap();
         let sparse_line = lines.iter().position(|l| l.contains('.')).unwrap();
-        assert!(dense_line < sparse_line, "dense {dense_line} sparse {sparse_line}");
+        assert!(
+            dense_line < sparse_line,
+            "dense {dense_line} sparse {sparse_line}"
+        );
     }
 
     #[test]

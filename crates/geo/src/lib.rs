@@ -20,6 +20,10 @@
 //!   [`TrigPoint`] hoists per-point trigonometry out of pair loops and
 //!   [`PairGeometry`] holds the build-once pairwise distance matrix and
 //!   per-origin distance rankings, bit-identical to [`haversine_km`].
+//!   The cache serializes to a versioned byte format
+//!   ([`PairGeometry::to_bytes`] / [`PairGeometry::from_bytes`]) so it
+//!   persists across processes inside model-artifact bundles, with
+//!   f64 bit-exact round-trips.
 //!
 //! All distances are in kilometres, all angles in degrees unless a function
 //! name says otherwise. Latitude is constrained to `[-90, 90]` and
@@ -55,11 +59,12 @@ mod point;
 mod polygon;
 
 pub use bbox::{BoundingBox, AUSTRALIA_BBOX};
-pub use cache::{pairwise_km, pairwise_km_direct, PairGeometry, TrigPoint};
-pub use density::{DensityCell, DensityGrid};
-pub use distance::{
-    bearing_deg, destination, equirectangular_km, haversine_km, EARTH_RADIUS_KM,
+pub use cache::{
+    pairwise_km, pairwise_km_direct, GeometryFormatError, PairGeometry, TrigPoint, GEOMETRY_MAGIC,
+    GEOMETRY_VERSION,
 };
+pub use density::{DensityCell, DensityGrid};
+pub use distance::{bearing_deg, destination, equirectangular_km, haversine_km, EARTH_RADIUS_KM};
 pub use grid::{GridIndex, Neighbor};
 pub use point::{GeoError, Point};
 pub use polygon::Polygon;

@@ -31,7 +31,10 @@ impl fmt::Display for GeoError {
                 write!(f, "longitude {v} outside [-180, 180] or not finite")
             }
             GeoError::EmptyBox { axis, min, max } => {
-                write!(f, "bounding box empty on {axis} axis: min {min} > max {max}")
+                write!(
+                    f,
+                    "bounding box empty on {axis} axis: min {min} > max {max}"
+                )
             }
         }
     }

@@ -202,7 +202,10 @@ mod tests {
         let sq = square();
         let expect = 111.194_926 * 111.194_926 * (33.5f64.to_radians()).cos();
         let got = sq.area_km2();
-        assert!((got - expect).abs() / expect < 1e-3, "got {got}, want {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-3,
+            "got {got}, want {expect}"
+        );
     }
 
     #[test]

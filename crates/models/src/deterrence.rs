@@ -11,7 +11,8 @@
 //! log space — the exponential term contributes `−d·log₁₀e/κ`, linear in
 //! raw distance.
 
-use crate::traits::{FlowObservation, MobilityModel, ModelError};
+use crate::fitted::FittedModel;
+use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
 use tweetmob_stats::regression::Ols;
 use tweetmob_stats::StatsError;
@@ -71,12 +72,12 @@ impl GravityExpFit {
     }
 }
 
-impl MobilityModel for GravityExpFit {
-    fn name(&self) -> &'static str {
+impl FittedModel for GravityExpFit {
+    fn model_name(&self) -> &'static str {
         "Gravity Exp"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c
             * obs.origin_population
             * obs.dest_population
@@ -133,12 +134,12 @@ impl TannerFit {
     }
 }
 
-impl MobilityModel for TannerFit {
-    fn name(&self) -> &'static str {
+impl FittedModel for TannerFit {
+    fn model_name(&self) -> &'static str {
         "Gravity Tanner"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c
             * obs.origin_population
             * obs.dest_population
@@ -150,6 +151,7 @@ impl MobilityModel for TannerFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MobilityModel;
 
     fn obs(m: f64, n: f64, d: f64, t: f64) -> FlowObservation {
         FlowObservation {

@@ -7,7 +7,8 @@
 //! skipped; the number used is recorded on the fit.
 
 use crate::columns::FitColumns;
-use crate::traits::{FlowObservation, MobilityModel, ModelError};
+use crate::fitted::FittedModel;
+use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
 use tweetmob_stats::check::debug_assert_finite;
 use tweetmob_stats::regression::Ols;
@@ -395,12 +396,12 @@ impl Gravity4Fit {
     }
 }
 
-impl MobilityModel for Gravity4Fit {
-    fn name(&self) -> &'static str {
+impl FittedModel for Gravity4Fit {
+    fn model_name(&self) -> &'static str {
         "Gravity 4Param"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c * obs.origin_population.powf(self.alpha) * obs.dest_population.powf(self.beta)
             / obs.distance_km.powf(self.gamma)
     }
@@ -432,12 +433,12 @@ impl Gravity2Fit {
     }
 }
 
-impl MobilityModel for Gravity2Fit {
-    fn name(&self) -> &'static str {
+impl FittedModel for Gravity2Fit {
+    fn model_name(&self) -> &'static str {
         "Gravity 2Param"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c * obs.origin_population * obs.dest_population / obs.distance_km.powf(self.gamma)
     }
 }
@@ -445,6 +446,7 @@ impl MobilityModel for Gravity2Fit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MobilityModel;
 
     fn obs(m: f64, n: f64, d: f64, t: f64) -> FlowObservation {
         FlowObservation {

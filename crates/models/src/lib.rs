@@ -26,10 +26,16 @@
 //!   ([`DoublyConstrainedFit`]) — the production variant whose predicted
 //!   marginals match the observed trip productions/attractions exactly.
 //!
-//! All models implement [`MobilityModel`], so the evaluation harness
-//! ([`evaluate`]) can score any of them with the paper's two Table-II
-//! metrics (log-space Pearson, HitRate@50%) plus the extra metrics the
-//! paper's future work calls for.
+//! Fitting and prediction are split: every fitted parameter struct is an
+//! immutable, serializable artifact implementing [`FittedModel`]
+//! (`model_name` / `predict_flow` / `predict_batch`), and the historical
+//! [`MobilityModel`] entry point is a blanket wrapper over it, so the
+//! evaluation harness ([`evaluate`]) can score any of them with the
+//! paper's two Table-II metrics (log-space Pearson, HitRate@50%) plus
+//! the extra metrics the paper's future work calls for. The four
+//! paper-comparison fits travel together as a [`FittedModelSet`],
+//! addressed by [`ModelKind`] — the unit the artifact container in
+//! `tweetmob-data` persists for fit-once / predict-many serving.
 //!
 //! ## Example
 //!
@@ -63,6 +69,7 @@
 mod columns;
 mod deterrence;
 mod evaluation;
+mod fitted;
 mod gravity;
 mod ipf;
 mod opportunities;
@@ -72,6 +79,7 @@ mod traits;
 pub use columns::{FitColumns, RunMoments, LANES};
 pub use deterrence::{GravityExpFit, TannerFit};
 pub use evaluation::{evaluate, evaluate_vectors, ModelEvaluation};
+pub use fitted::{FittedModel, FittedModelSet, ModelKind};
 pub use gravity::{Gravity2Fit, Gravity4Fit, GravityGrid, GridAxis};
 pub use ipf::{DoublyConstrainedFit, IpfError};
 pub use opportunities::OpportunitiesFit;

@@ -15,7 +15,8 @@
 //! companion (is Radiation's misfit specific to its functional form, or
 //! shared by all intervening-opportunity laws?).
 
-use crate::traits::{FlowObservation, MobilityModel, ModelError};
+use crate::fitted::FittedModel;
+use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
 
 /// Fitted intervening-opportunities model: `P = C · m n / (s + n)`.
@@ -60,12 +61,12 @@ impl OpportunitiesFit {
     }
 }
 
-impl MobilityModel for OpportunitiesFit {
-    fn name(&self) -> &'static str {
+impl FittedModel for OpportunitiesFit {
+    fn model_name(&self) -> &'static str {
         "Opportunities"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c * Self::structural_factor(obs)
     }
 }
@@ -73,6 +74,7 @@ impl MobilityModel for OpportunitiesFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MobilityModel;
 
     fn obs(m: f64, n: f64, s: f64, t: f64) -> FlowObservation {
         FlowObservation {

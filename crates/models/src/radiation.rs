@@ -9,7 +9,8 @@
 //! even for distant pairs, which radiation's smooth-dispersion assumption
 //! does not anticipate.
 
-use crate::traits::{FlowObservation, MobilityModel, ModelError};
+use crate::fitted::FittedModel;
+use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tweetmob_geo::{PairGeometry, Point};
@@ -217,12 +218,12 @@ impl RadiationFit {
     }
 }
 
-impl MobilityModel for RadiationFit {
-    fn name(&self) -> &'static str {
+impl FittedModel for RadiationFit {
+    fn model_name(&self) -> &'static str {
         "Radiation"
     }
 
-    fn predict(&self, obs: &FlowObservation) -> f64 {
+    fn predict_flow(&self, obs: &FlowObservation) -> f64 {
         self.c * Self::structural_factor(obs)
     }
 }
@@ -230,6 +231,7 @@ impl MobilityModel for RadiationFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MobilityModel;
 
     fn obs(m: f64, n: f64, d: f64, s: f64, t: f64) -> FlowObservation {
         FlowObservation {

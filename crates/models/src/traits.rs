@@ -71,6 +71,12 @@ impl fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// A fitted mobility model that can predict a flow for an observation.
+///
+/// This is the historical entry point the evaluation harness and the
+/// examples consume. Since the fit/predict split it is a thin wrapper:
+/// every fitted artifact implements [`FittedModel`](crate::FittedModel),
+/// and the blanket impl below forwards `name`/`predict` to it, so both
+/// spellings stay available and bit-identical.
 pub trait MobilityModel {
     /// Short display name ("Gravity 4Param", …) used in report tables.
     fn name(&self) -> &'static str;
@@ -78,6 +84,16 @@ pub trait MobilityModel {
     /// Predicted flow for the observation's `(m, n, d, s)`; the
     /// observation's `observed_flow` is ignored.
     fn predict(&self, obs: &FlowObservation) -> f64;
+}
+
+impl<T: crate::FittedModel> MobilityModel for T {
+    fn name(&self) -> &'static str {
+        self.model_name()
+    }
+
+    fn predict(&self, obs: &FlowObservation) -> f64 {
+        self.predict_flow(obs)
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! ```
 
 use tweetmob::core::{AreaSet, Experiment, PopulationSource, Scale};
+use tweetmob::data::ModelBundle;
+use tweetmob::models::ModelKind;
 use tweetmob::synth::{GeneratorConfig, TweetGenerator};
 
 fn main() {
@@ -34,12 +36,14 @@ fn main() {
             "scale", "model", "Pearson", "hit@50%", "logRMSE", "SSI"
         );
         for scale in Scale::ALL {
-            let report = match experiment.mobility_with(
+            // Each fit also yields a persistable artifact; the report
+            // prints the comparison, the bundle answers later queries.
+            let (report, bundle) = match experiment.fit_with(
                 &AreaSet::of_scale(scale),
                 source,
                 scale.name().to_string(),
             ) {
-                Ok(r) => r,
+                Ok(pair) => pair,
                 Err(e) => {
                     println!("{:<14} failed: {e}", scale.name());
                     continue;
@@ -54,6 +58,21 @@ fn main() {
                     eval.hit_rate_50,
                     eval.log_rmse,
                     eval.sorensen
+                );
+            }
+            // Fit once, predict many: round-trip the artifact and show
+            // that the loaded models answer without refitting.
+            if scale == Scale::National && source == PopulationSource::Twitter {
+                let mut bytes = Vec::new();
+                bundle.save(&mut bytes).expect("serialize artifact");
+                let loaded = ModelBundle::load(&bytes[..]).expect("reload artifact");
+                let origin = loaded.area_index("Sydney").expect("Sydney");
+                let top = loaded.top_k(ModelKind::Gravity2, origin, 1);
+                println!(
+                    "{:<14} (artifact: {} bytes; reloaded gravity2 puts {} first from Sydney)",
+                    "",
+                    bytes.len(),
+                    loaded.areas()[top[0].0].name
                 );
             }
         }

@@ -1,5 +1,6 @@
 //! Quickstart: generate a synthetic tweet stream, estimate population,
-//! extract mobility, and compare the gravity and radiation models.
+//! extract mobility, compare the gravity and radiation models, and save
+//! the fitted models as a reusable artifact.
 //!
 //! Run with:
 //!
@@ -8,7 +9,8 @@
 //! ```
 
 use tweetmob::core::{Experiment, Scale};
-use tweetmob::data::DatasetSummary;
+use tweetmob::data::{DatasetSummary, ModelBundle};
+use tweetmob::models::ModelKind;
 use tweetmob::synth::{GeneratorConfig, TweetGenerator};
 
 fn main() {
@@ -17,7 +19,11 @@ fn main() {
     //    users; `small` keeps this example instant.)
     let config = GeneratorConfig::small();
     let dataset = TweetGenerator::new(config).generate();
-    println!("generated {} tweets from {} users", dataset.n_tweets(), dataset.n_users());
+    println!(
+        "generated {} tweets from {} users",
+        dataset.n_tweets(),
+        dataset.n_users()
+    );
     println!();
 
     // 2. Dataset statistics (the paper's Table I).
@@ -48,12 +54,37 @@ fn main() {
     }
     println!();
 
-    // 4. Mobility models (Fig. 4 / Table II).
-    match experiment.mobility(Scale::National) {
-        Ok(report) => {
+    // 4. Mobility models (Fig. 4 / Table II), fitted once — the report
+    //    for reading, the bundle for keeping.
+    let bundle = match experiment.fit(Scale::National) {
+        Ok((report, bundle)) => {
             println!("--- mobility estimation, national scale ---");
             print!("{report}");
+            bundle
         }
-        Err(e) => println!("mobility estimation failed: {e}"),
+        Err(e) => {
+            println!("mobility estimation failed: {e}");
+            return;
+        }
+    };
+    println!();
+
+    // 5. Fit once, predict many: persist the fitted models with their
+    //    geometry, reload, and answer queries without refitting.
+    //    (`ModelBundle::save_file`/`load_file` do the same against a
+    //    real path; predictions from a loaded artifact are bit-identical
+    //    to the in-memory fit.)
+    let mut artifact = Vec::new();
+    bundle.save(&mut artifact).expect("serialize artifact");
+    let loaded = ModelBundle::load(&artifact[..]).expect("reload artifact");
+    println!("--- fit once, predict many ---");
+    println!("artifact: {} bytes, {} areas", artifact.len(), loaded.len());
+    let origin = loaded.area_index("Sydney").expect("Sydney in bundle");
+    println!("top 3 gravity destinations from Sydney:");
+    for (dest, flow) in loaded.top_k(ModelKind::Gravity2, origin, 3) {
+        println!(
+            "  {:<14} predicted flow {flow:.1}",
+            loaded.areas()[dest].name
+        );
     }
 }

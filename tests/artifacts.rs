@@ -1,0 +1,241 @@
+//! Artifact-layer acceptance suite (DESIGN.md §13): the fit-once /
+//! predict-many split must be invisible in the numbers. A
+//! [`ModelBundle`] that is saved and reloaded has to re-encode to the
+//! same bytes and predict bit-identically to the in-memory fit it came
+//! from — for every model, at one worker thread and at eight — and the
+//! epidemic network built from a loaded artifact must match the one
+//! assembled by hand from the same parts.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tweetmob::core::{Experiment, Scale};
+use tweetmob::data::{BundleArea, BundleMeta, ModelBundle};
+use tweetmob::epidemic::MobilityNetwork;
+use tweetmob::geo::{PairGeometry, Point};
+use tweetmob::models::{
+    FittedModelSet, FlowObservation, InterveningPopulation, MobilityModel, ModelKind,
+};
+use tweetmob::par::with_threads;
+use tweetmob::synth::{GeneratorConfig, TweetGenerator};
+
+fn arb_aus_point() -> impl Strategy<Value = Point> {
+    (-44.0..-10.0f64, 113.0..154.0f64).prop_map(|(lat, lon)| Point::new_unchecked(lat, lon))
+}
+
+/// A synthetic fit over arbitrary centres and populations, packaged as
+/// a bundle exactly the way `Experiment::fit_with` packages one.
+fn bundle_from(centers: &[Point], populations: &[f64]) -> ModelBundle {
+    let geometry = PairGeometry::shared(centers);
+    let intervening = InterveningPopulation::from_geometry(Arc::clone(&geometry), populations);
+    let n = centers.len();
+    let mut observations = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = geometry.distance(i, j).max(1.0);
+            observations.push(FlowObservation {
+                origin_population: populations[i],
+                dest_population: populations[j],
+                distance_km: geometry.distance(i, j),
+                intervening_population: intervening.s(i, j),
+                observed_flow: (0.01 * populations[i] * populations[j] / (d * d)).max(1.0),
+            });
+        }
+    }
+    let models = FittedModelSet::fit(&observations).expect("synthetic fit");
+    let areas = centers
+        .iter()
+        .enumerate()
+        .map(|(i, &center)| BundleArea {
+            name: format!("Area {i}"),
+            center,
+            census_population: populations[i] * 1.25,
+        })
+        .collect();
+    ModelBundle::new(
+        BundleMeta {
+            label: "proptest".into(),
+            population_source: "twitter".into(),
+            radius_km: 50.0,
+        },
+        areas,
+        populations.to_vec(),
+        models,
+        geometry,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save → load re-encodes to the same bytes, and every prediction
+    /// of every model bit-matches the freshly fitted bundle.
+    #[test]
+    fn save_load_is_byte_identical_and_predictions_bit_match(
+        centers in prop::collection::vec(arb_aus_point(), 4..12),
+        seeds in prop::collection::vec(1_000.0..1e6f64, 12),
+    ) {
+        let populations: Vec<f64> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| seeds[i % seeds.len()])
+            .collect();
+        let bundle = bundle_from(&centers, &populations);
+
+        let mut first = Vec::new();
+        bundle.save(&mut first).expect("save");
+        let loaded = ModelBundle::load(&first[..]).expect("load");
+        let mut second = Vec::new();
+        loaded.save(&mut second).expect("re-save");
+        prop_assert_eq!(&first, &second, "re-encode must be canonical");
+
+        prop_assert_eq!(loaded.meta(), bundle.meta());
+        prop_assert_eq!(loaded.areas(), bundle.areas());
+        prop_assert_eq!(loaded.models(), bundle.models());
+        for kind in ModelKind::ALL {
+            for i in 0..bundle.len() {
+                for j in 0..bundle.len() {
+                    if i == j {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        bundle.predict(kind, i, j).to_bits(),
+                        loaded.predict(kind, i, j).to_bits(),
+                        "{} {}->{}", kind, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Corrupting any single byte of the header is rejected, never a
+    /// wrong-answer load.
+    #[test]
+    fn header_corruption_is_always_detected(
+        centers in prop::collection::vec(arb_aus_point(), 4..8),
+        byte in 0usize..8,
+    ) {
+        let populations = vec![10_000.0; centers.len()];
+        let bundle = bundle_from(&centers, &populations);
+        let mut bytes = Vec::new();
+        bundle.save(&mut bytes).expect("save");
+        bytes[byte] = bytes[byte].wrapping_add(1);
+        prop_assert!(ModelBundle::load(&bytes[..]).is_err());
+    }
+}
+
+/// The ISSUE acceptance gate: a full pipeline fit, saved and reloaded,
+/// predicts bit-identically to the in-memory report — at one worker
+/// thread and at eight — and the artifact bytes themselves are
+/// identical at every thread count.
+#[test]
+fn pipeline_fit_save_load_predict_is_bit_identical_at_1_and_8_threads() {
+    let mut cfg = GeneratorConfig::small();
+    cfg.n_users = 2_000;
+    let ds = TweetGenerator::new(cfg).generate();
+
+    let mut encodings = Vec::new();
+    for threads in [1usize, 8] {
+        let (report, bundle) = with_threads(threads, || {
+            Experiment::new(&ds).fit(Scale::National).expect("fit")
+        });
+        let mut bytes = Vec::new();
+        bundle.save(&mut bytes).expect("save");
+        let loaded = ModelBundle::load(&bytes[..]).expect("load");
+
+        assert_eq!(loaded.models(), bundle.models());
+        for i in 0..bundle.len() {
+            for j in 0..bundle.len() {
+                if i == j {
+                    continue;
+                }
+                let obs = bundle.observation(i, j);
+                assert_eq!(
+                    loaded.predict(ModelKind::Gravity4, i, j).to_bits(),
+                    report.gravity4.predict(&obs).to_bits()
+                );
+                assert_eq!(
+                    loaded.predict(ModelKind::Gravity2, i, j).to_bits(),
+                    report.gravity2.predict(&obs).to_bits()
+                );
+                assert_eq!(
+                    loaded.predict(ModelKind::Radiation, i, j).to_bits(),
+                    report.radiation.predict(&obs).to_bits()
+                );
+                assert_eq!(
+                    loaded.predict(ModelKind::Opportunities, i, j).to_bits(),
+                    report.opportunities.predict(&obs).to_bits()
+                );
+            }
+        }
+        encodings.push(bytes);
+    }
+    assert_eq!(
+        encodings[0], encodings[1],
+        "artifact bytes must not depend on thread count"
+    );
+}
+
+/// Top-k answers from a loaded artifact are deterministic and match
+/// the in-memory bundle exactly.
+#[test]
+fn top_k_from_loaded_artifact_matches_in_memory() {
+    let ds = TweetGenerator::new(GeneratorConfig::small()).generate();
+    let (_, bundle) = Experiment::new(&ds).fit(Scale::National).expect("fit");
+    let mut bytes = Vec::new();
+    bundle.save(&mut bytes).expect("save");
+    let loaded = ModelBundle::load(&bytes[..]).expect("load");
+    let origin = bundle.area_index("Sydney").expect("Sydney present");
+    for kind in ModelKind::ALL {
+        let expect = bundle.top_k(kind, origin, 5);
+        assert_eq!(expect.len(), 5);
+        assert!(expect.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(expect, loaded.top_k(kind, origin, 5));
+    }
+}
+
+/// The epidemic network built straight from a loaded artifact is
+/// bit-identical to one assembled by hand from the same bundle parts.
+#[test]
+fn epidemic_network_from_artifact_matches_hand_assembly() {
+    let ds = TweetGenerator::new(GeneratorConfig::small()).generate();
+    let (_, bundle) = Experiment::new(&ds).fit(Scale::National).expect("fit");
+    let mut bytes = Vec::new();
+    bundle.save(&mut bytes).expect("save");
+    let loaded = ModelBundle::load(&bytes[..]).expect("load");
+
+    let from_artifact =
+        MobilityNetwork::from_artifact(&loaded, ModelKind::Gravity2, 0.02).expect("network");
+
+    let census: Vec<f64> = bundle.areas().iter().map(|a| a.census_population).collect();
+    let n = census.len();
+    let calc = InterveningPopulation::from_geometry(Arc::clone(bundle.geometry()), &census);
+    let dense: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { calc.s(i, j) })
+                .collect()
+        })
+        .collect();
+    let by_hand = MobilityNetwork::from_model_geometry(
+        &bundle.models().gravity2,
+        census,
+        bundle.geometry(),
+        &dense,
+        0.02,
+    )
+    .expect("hand network");
+
+    assert_eq!(from_artifact.n_patches(), by_hand.n_patches());
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                from_artifact.rate(i, j).to_bits(),
+                by_hand.rate(i, j).to_bits(),
+                "rate {i}->{j}"
+            );
+        }
+    }
+}
