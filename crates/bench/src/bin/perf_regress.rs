@@ -1,0 +1,163 @@
+//! Perf-regression runner over the committed `BENCH_pipeline.json`
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p tweetmob-bench --bin perf_regress -- --check
+//! cargo run --release -p tweetmob-bench --bin perf_regress -- --record
+//! ```
+//!
+//! `--check` (the default, what CI runs) re-measures every pipeline
+//! stage and hot kernel, compares the machine-normalized ratios against
+//! the committed baseline under the `regression` key, writes the full
+//! verdict table to `BENCH_regression_current.json`, and exits non-zero
+//! when any stage regressed past the tolerance
+//! (`TWEETMOB_PERF_TOLERANCE`, default 25%).
+//!
+//! `--record` refreshes the baseline in place — run it (at the same
+//! `TWEETMOB_USERS` / `TWEETMOB_SEED` as the CI job) and commit the
+//! updated `BENCH_pipeline.json` whenever a deliberate perf change
+//! shifts a stage's cost.
+//!
+//! Both modes time at one worker thread; see
+//! [`tweetmob_bench::regress`] for the normalization story.
+
+use tweetmob_bench::regress::{
+    compare, measure, passes, stage_ratios, tolerance, Measurement, REGRESSION_CURRENT_PATH,
+    REGRESSION_KEY,
+};
+use tweetmob_bench::BENCH_METRICS_PATH;
+
+fn read_doc(path: &str) -> serde_json::Value {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .filter(serde_json::Value::is_object)
+        .unwrap_or_else(|| serde_json::Value::Object(serde_json::Map::new()))
+}
+
+fn write_doc(path: &str, doc: &serde_json::Value) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+fn record(current: &Measurement) -> i32 {
+    let mut doc = read_doc(BENCH_METRICS_PATH);
+    doc[REGRESSION_KEY] = current.to_value();
+    if let Err(e) = write_doc(BENCH_METRICS_PATH, &doc) {
+        eprintln!("failed to write {BENCH_METRICS_PATH}: {e}");
+        return 1;
+    }
+    println!("recorded baseline into {BENCH_METRICS_PATH} (commit it)");
+    0
+}
+
+fn check(current: &Measurement) -> i32 {
+    let doc = read_doc(BENCH_METRICS_PATH);
+    let baseline = &doc[REGRESSION_KEY];
+    let Some(baseline_ratios) = stage_ratios(baseline) else {
+        eprintln!(
+            "no committed baseline under {REGRESSION_KEY:?} in {BENCH_METRICS_PATH}; \
+             run `perf_regress --record` and commit the result"
+        );
+        return 2;
+    };
+    if let Some(baseline_users) = baseline["n_users"].as_u64() {
+        if baseline_users != current.n_users {
+            eprintln!(
+                "baseline was measured at {baseline_users} users but this run used {}; \
+                 set TWEETMOB_USERS={baseline_users} (or re-record the baseline)",
+                current.n_users
+            );
+            return 2;
+        }
+    }
+
+    let tolerance = tolerance();
+    let current_ratios = current
+        .stages
+        .iter()
+        .map(|(name, sample)| (name.clone(), sample.ratio))
+        .collect();
+    let rows = compare(&baseline_ratios, &current_ratios, tolerance);
+    let pass = passes(&rows);
+
+    println!();
+    println!("baseline comparison (tolerance {:.0}%):", tolerance * 100.0);
+    let mut stages = serde_json::Map::new();
+    for row in &rows {
+        let change = row
+            .change
+            .map_or_else(|| "     -  ".to_string(), |c| format!("{:+7.1}%", c * 100.0));
+        println!(
+            "  {:<24} baseline {:>8} current {:>8}   {change}   {}",
+            row.stage,
+            row.baseline_ratio
+                .map_or_else(|| "-".into(), |r| format!("{r:.4}")),
+            row.current_ratio
+                .map_or_else(|| "-".into(), |r| format!("{r:.4}")),
+            row.verdict.as_str(),
+        );
+        let mut entry = serde_json::Map::new();
+        if let Some(b) = row.baseline_ratio {
+            entry.insert("baseline_ratio".into(), serde_json::Value::from(b));
+        }
+        if let Some(c) = row.current_ratio {
+            entry.insert("current_ratio".into(), serde_json::Value::from(c));
+        }
+        if let Some(c) = row.change {
+            entry.insert("change".into(), serde_json::Value::from(c));
+        }
+        entry.insert(
+            "verdict".into(),
+            serde_json::Value::from(row.verdict.as_str()),
+        );
+        stages.insert(row.stage.clone(), serde_json::Value::Object(entry));
+    }
+
+    let mut report = serde_json::Map::new();
+    report.insert("tolerance".into(), serde_json::Value::from(tolerance));
+    report.insert(
+        "baseline_calibration_ns".into(),
+        baseline["calibration_ns"].clone(),
+    );
+    report.insert(
+        "current_calibration_ns".into(),
+        serde_json::Value::from(current.calibration_ns as f64),
+    );
+    report.insert("stages".into(), serde_json::Value::Object(stages));
+    report.insert("pass".into(), serde_json::Value::from(pass));
+    if let Err(e) = write_doc(REGRESSION_CURRENT_PATH, &serde_json::Value::Object(report)) {
+        eprintln!("failed to write {REGRESSION_CURRENT_PATH}: {e}");
+        return 1;
+    }
+    println!();
+    println!("wrote {REGRESSION_CURRENT_PATH}");
+    if pass {
+        println!("perf check passed: every stage within tolerance of the baseline");
+        0
+    } else {
+        eprintln!("error: at least one stage regressed past the tolerance (or vanished)");
+        1
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "--check".into());
+    let handler = match mode.as_str() {
+        "--check" => check,
+        "--record" => record,
+        other => {
+            eprintln!("unknown mode {other:?}: expected --check or --record");
+            std::process::exit(2);
+        }
+    };
+    println!("measuring pipeline + kernel stages (1 thread, best of 3):");
+    let current = measure();
+    println!(
+        "calibration {} ns over {} users (seed 0x{:X})",
+        current.calibration_ns, current.n_users, current.seed
+    );
+    std::process::exit(handler(&current));
+}

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod regress;
+
 use tweetmob_data::TweetDataset;
 use tweetmob_synth::{GeneratorConfig, TweetGenerator};
 

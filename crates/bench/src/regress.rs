@@ -1,0 +1,452 @@
+//! Machine-normalized perf-regression harness.
+//!
+//! The `perf_regress` binary times every pipeline stage plus the hot
+//! kernels, normalizes each timing by a fixed single-threaded
+//! calibration workload run on the same machine, and merges the result
+//! into the committed [`crate::BENCH_METRICS_PATH`] baseline under the
+//! [`REGRESSION_KEY`] key. CI re-runs the same measurement and fails
+//! when any stage's normalized ratio grew by more than the tolerance
+//! (default [`DEFAULT_TOLERANCE`], overridable via [`TOLERANCE_ENV`]).
+//!
+//! Normalizing by the calibration workload makes the committed numbers
+//! portable: a uniformly slower CI runner slows the calibration loop by
+//! the same factor as the stages, leaving the ratios unchanged. What
+//! the ratios *do* move on is a real per-stage slowdown — the thing the
+//! harness exists to catch. All stages are timed at one worker thread
+//! so scheduling noise cannot masquerade as (or hide) an algorithmic
+//! regression; parallel-scaling health is the existing
+//! `pipeline_bench` CI job's business.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use tweetmob_core::{extract_trips, AreaSet, Experiment, Scale};
+use tweetmob_epidemic::{MobilityNetwork, OutbreakScenario};
+use tweetmob_geo::{PairGeometry, Point};
+use tweetmob_models::{Gravity4Fit, GravityGrid};
+use tweetmob_obs::MetricsRegistry;
+
+/// Top-level key the baseline lives under in
+/// [`crate::BENCH_METRICS_PATH`].
+pub const REGRESSION_KEY: &str = "regression";
+
+/// Report document `perf_regress --check` writes next to the baseline.
+pub const REGRESSION_CURRENT_PATH: &str = "BENCH_regression_current.json";
+
+/// Baseline document schema version.
+pub const REGRESSION_SCHEMA: u64 = 1;
+
+/// Default per-stage tolerance: fail when a stage's normalized ratio
+/// exceeds the baseline's by more than this fraction.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Environment variable overriding [`DEFAULT_TOLERANCE`] (a fraction,
+/// e.g. `0.4` for 40%).
+pub const TOLERANCE_ENV: &str = "TWEETMOB_PERF_TOLERANCE";
+
+/// Timed passes per stage; the best (minimum) is kept, which is the
+/// standard defence against one pass eating a scheduler hiccup.
+pub const PASSES: u32 = 3;
+
+const CALIBRATION_ROUNDS: u64 = 25_000_000;
+
+/// Resolves the per-stage tolerance: [`TOLERANCE_ENV`] when set to a
+/// finite non-negative number, [`DEFAULT_TOLERANCE`] otherwise.
+pub fn tolerance() -> f64 {
+    std::env::var(TOLERANCE_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// The calibration workload: a serial FNV-1a-style mixing chain whose
+/// loop-carried dependency defeats vectorization, so its wall time
+/// tracks scalar core speed — the same resource the pipeline stages
+/// spend most of their time on.
+fn calibration_pass() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..CALIBRATION_ROUNDS {
+        h ^= i;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// One stage's measurement: best-of-[`PASSES`] wall time and its ratio
+/// to the calibration workload on the same machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageSample {
+    /// Best-of-passes wall time, nanoseconds.
+    pub ns: u64,
+    /// `ns / calibration_ns` — the machine-normalized number the
+    /// baseline comparison runs on.
+    pub ratio: f64,
+}
+
+/// A full measurement run: the calibration reading plus every stage.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Calibration workload wall time, nanoseconds (best of passes).
+    pub calibration_ns: u64,
+    /// Synthetic-dataset user count the stages ran over.
+    pub n_users: u64,
+    /// Generator seed the stages ran over.
+    pub seed: u64,
+    /// Per-stage samples, keyed by stage name.
+    pub stages: BTreeMap<String, StageSample>,
+}
+
+/// Times `f` [`PASSES`] times (after one warm-up call) and returns the
+/// fastest pass in nanoseconds, clamped to at least 1 so downstream
+/// ratios stay finite. Span names are derived from `name`, which must
+/// be unique per call.
+fn best_of(stopwatch: &MetricsRegistry, name: &str, f: &mut dyn FnMut()) -> u64 {
+    f(); // warm-up: fault in caches and lazy init outside the timing
+    let mut best = u64::MAX;
+    for pass in 0..PASSES {
+        let span = format!("{name}/pass{pass}");
+        {
+            let _timer = stopwatch.span(&span);
+            f();
+        }
+        let ns = stopwatch.span_stat(&span).map_or(0, |s| s.total_ns);
+        best = best.min(ns.max(1));
+    }
+    best
+}
+
+/// Runs the calibration workload and every stage at one worker thread,
+/// returning the machine-normalized measurement. Honours the
+/// `TWEETMOB_USERS` / `TWEETMOB_SEED` knobs through
+/// [`crate::standard_dataset`]; the baseline records both so `--check`
+/// can refuse to compare measurements of different workloads.
+pub fn measure() -> Measurement {
+    let stopwatch = MetricsRegistry::new();
+    let calibration_ns = best_of(&stopwatch, "calibration", &mut || {
+        black_box(calibration_pass());
+    });
+
+    let (cfg, ds) = crate::standard_dataset();
+    let mut stages: BTreeMap<String, StageSample> = BTreeMap::new();
+    let mut stage = |name: &str, f: &mut dyn FnMut()| {
+        let ns = best_of(&stopwatch, name, &mut || tweetmob_par::with_threads(1, &mut *f));
+        let sample = StageSample {
+            ns,
+            ratio: ns as f64 / calibration_ns.max(1) as f64,
+        };
+        println!("  {name:<24} {ns:>12} ns   ratio {:.4}", sample.ratio);
+        stages.insert(name.to_string(), sample);
+    };
+
+    let gen_cfg = cfg.clone();
+    stage("synth/generate", &mut || {
+        let ds = tweetmob_synth::TweetGenerator::new(gen_cfg.clone()).generate();
+        black_box(ds.n_tweets());
+    });
+
+    let areas = AreaSet::of_scale(Scale::National);
+    stage("trips", &mut || {
+        let od = extract_trips(&ds, &areas);
+        black_box(od.iter_pairs().count());
+    });
+
+    let exp = Experiment::new(&ds);
+    stage("population", &mut || {
+        black_box(
+            exp.population_correlation(Scale::National)
+                // lint: allow(no-panic) — bench harness over the standard
+                // dataset, which always yields a correlation
+                .expect("population correlation on the standard dataset"),
+        );
+    });
+
+    let report = exp
+        .mobility(Scale::National)
+        // lint: allow(no-panic) — bench harness over the standard dataset,
+        // which always yields national trips
+        .expect("mobility report on the standard dataset");
+    let grid = GravityGrid::default();
+    stage("gravity-grid", &mut || {
+        black_box(
+            Gravity4Fit::fit_grid(&report.observations, &grid)
+                // lint: allow(no-panic) — the default lattice is non-empty
+                .expect("grid search over the default lattice"),
+        );
+    });
+
+    let od = extract_trips(&ds, &areas);
+    let flows: Vec<(usize, usize, f64)> = od
+        .iter_pairs()
+        .map(|(i, j, count)| (i, j, count as f64))
+        .collect();
+    let network = MobilityNetwork::from_flows(areas.census_populations(), &flows, 0.05)
+        // lint: allow(no-panic) — national areas and extracted flows are
+        // well-formed by construction
+        .expect("national network");
+    let scenario = OutbreakScenario::new(network, 0.5, 0.2).seed(0, 100.0);
+    stage("epidemic/replicates", &mut || {
+        black_box(
+            scenario
+                .run_stochastic_replicates(60.0, 0.5, 0xC0FFEE, 8)
+                // lint: allow(no-panic) — horizon, step and replicate count
+                // are fixed valid constants
+                .expect("validated scenario"),
+        );
+    });
+
+    let points: Vec<Point> = ds.points().iter().take(4000).copied().collect();
+    stage("kernels/pair-geometry", &mut || {
+        let geometry: Arc<PairGeometry> = PairGeometry::shared(&points);
+        let mut acc = 0.0;
+        for i in 0..points.len() {
+            acc += geometry.distance(i, (i + 17) % points.len());
+        }
+        black_box(acc);
+    });
+
+    Measurement {
+        calibration_ns,
+        n_users: u64::from(cfg.n_users),
+        seed: cfg.seed,
+        stages,
+    }
+}
+
+impl Measurement {
+    /// Renders the baseline document stored under [`REGRESSION_KEY`].
+    pub fn to_value(&self) -> serde_json::Value {
+        let mut stages = serde_json::Map::new();
+        for (name, sample) in &self.stages {
+            let mut entry = serde_json::Map::new();
+            entry.insert("ns".into(), serde_json::Value::from(sample.ns));
+            entry.insert("ratio".into(), serde_json::Value::from(sample.ratio));
+            stages.insert(name.clone(), serde_json::Value::Object(entry));
+        }
+        let mut doc = serde_json::Map::new();
+        doc.insert(
+            "schema".into(),
+            serde_json::Value::from(REGRESSION_SCHEMA),
+        );
+        doc.insert(
+            "calibration_ns".into(),
+            serde_json::Value::from(self.calibration_ns),
+        );
+        doc.insert("threads".into(), serde_json::Value::from(1u64));
+        doc.insert("n_users".into(), serde_json::Value::from(self.n_users));
+        doc.insert("seed".into(), serde_json::Value::from(self.seed));
+        doc.insert(
+            "tolerance_default".into(),
+            serde_json::Value::from(DEFAULT_TOLERANCE),
+        );
+        doc.insert("stages".into(), serde_json::Value::Object(stages));
+        serde_json::Value::Object(doc)
+    }
+}
+
+/// Extracts `stage name → normalized ratio` from a baseline document
+/// (the value stored under [`REGRESSION_KEY`]). Returns `None` when the
+/// document has no `stages` object.
+pub fn stage_ratios(baseline: &serde_json::Value) -> Option<BTreeMap<String, f64>> {
+    let stages = baseline.get("stages")?.as_object()?;
+    Some(
+        stages
+            .iter()
+            .filter_map(|(name, entry)| Some((name.clone(), entry.get("ratio")?.as_f64()?)))
+            .collect(),
+    )
+}
+
+/// Outcome of comparing one stage against the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline (or faster).
+    Pass,
+    /// Slower than the baseline by more than the tolerance.
+    Regressed,
+    /// Measured now but absent from the baseline — passes, and flags
+    /// that the baseline wants a refresh.
+    New,
+    /// In the baseline but not measured now — fails, because a silently
+    /// vanished stage would otherwise hide a regression forever.
+    Missing,
+}
+
+impl Verdict {
+    /// Lower-case name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Regressed => "regressed",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        }
+    }
+
+    /// Whether this verdict fails the comparison as a whole.
+    pub fn is_failure(self) -> bool {
+        matches!(self, Verdict::Regressed | Verdict::Missing)
+    }
+}
+
+/// One stage's row in a baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Stage name.
+    pub stage: String,
+    /// Baseline normalized ratio, when the baseline has this stage.
+    pub baseline_ratio: Option<f64>,
+    /// Current normalized ratio, when this run measured the stage.
+    pub current_ratio: Option<f64>,
+    /// Fractional change, `current / baseline - 1`, when both exist.
+    pub change: Option<f64>,
+    /// The verdict under the tolerance the comparison ran with.
+    pub verdict: Verdict,
+}
+
+/// Compares current stage ratios against the baseline's. A stage fails
+/// only when its change is *strictly* greater than `tolerance`, so a
+/// change of exactly the tolerance passes. A non-positive baseline
+/// ratio is unusable for a relative comparison and is treated as
+/// [`Verdict::New`]. Rows come back in stage-name order.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<Comparison> {
+    let names: std::collections::BTreeSet<&String> =
+        baseline.keys().chain(current.keys()).collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let b = baseline.get(name).copied();
+            let c = current.get(name).copied();
+            let (change, verdict) = match (b, c) {
+                (Some(b), Some(c)) if b > 0.0 => {
+                    let change = c / b - 1.0;
+                    let verdict = if change > tolerance {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Pass
+                    };
+                    (Some(change), verdict)
+                }
+                (_, Some(_)) => (None, Verdict::New),
+                // Covers (Some, None); (None, None) cannot reach here —
+                // every name came from one of the two maps — and Missing
+                // is the conservative verdict if it somehow did.
+                _ => (None, Verdict::Missing),
+            };
+            Comparison {
+                stage: name.clone(),
+                baseline_ratio: b,
+                current_ratio: c,
+                change,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// Whether a whole comparison passes: no row carries a failing verdict.
+pub fn passes(rows: &[Comparison]) -> bool {
+    rows.iter().all(|row| !row.verdict.is_failure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratios(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn change_at_exactly_the_tolerance_passes() {
+        let rows = compare(&ratios(&[("a", 2.0)]), &ratios(&[("a", 2.5)]), 0.25);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].verdict, Verdict::Pass);
+        assert!((rows[0].change.unwrap() - 0.25).abs() < 1e-12);
+        assert!(passes(&rows));
+    }
+
+    #[test]
+    fn change_above_the_tolerance_regresses() {
+        let rows = compare(&ratios(&[("a", 2.0)]), &ratios(&[("a", 2.51)]), 0.25);
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+        assert!(!passes(&rows));
+    }
+
+    #[test]
+    fn speedups_pass() {
+        let rows = compare(&ratios(&[("a", 2.0)]), &ratios(&[("a", 0.5)]), 0.25);
+        assert_eq!(rows[0].verdict, Verdict::Pass);
+        assert!(rows[0].change.unwrap() < 0.0);
+    }
+
+    #[test]
+    fn new_stage_passes_and_missing_stage_fails() {
+        let rows = compare(
+            &ratios(&[("gone", 1.0)]),
+            &ratios(&[("fresh", 1.0)]),
+            0.25,
+        );
+        let by_name = |n: &str| rows.iter().find(|r| r.stage == n).unwrap();
+        assert_eq!(by_name("fresh").verdict, Verdict::New);
+        assert_eq!(by_name("gone").verdict, Verdict::Missing);
+        assert!(!passes(&rows));
+    }
+
+    #[test]
+    fn non_positive_baseline_is_treated_as_new() {
+        let rows = compare(&ratios(&[("a", 0.0)]), &ratios(&[("a", 1.0)]), 0.25);
+        assert_eq!(rows[0].verdict, Verdict::New);
+        assert!(passes(&rows));
+    }
+
+    #[test]
+    fn measurement_value_round_trips_through_stage_ratios() {
+        let mut stages = BTreeMap::new();
+        stages.insert(
+            "a".to_string(),
+            StageSample {
+                ns: 500,
+                ratio: 0.5,
+            },
+        );
+        stages.insert(
+            "b".to_string(),
+            StageSample {
+                ns: 2_000,
+                ratio: 2.0,
+            },
+        );
+        let m = Measurement {
+            calibration_ns: 1_000,
+            n_users: 5_000,
+            seed: 42,
+            stages,
+        };
+        let value = m.to_value();
+        assert_eq!(value["schema"].as_u64(), Some(REGRESSION_SCHEMA));
+        assert_eq!(value["n_users"].as_u64(), Some(5_000));
+        let ratios = stage_ratios(&value).expect("stages object present");
+        assert_eq!(ratios.len(), 2);
+        assert!((ratios["a"] - 0.5).abs() < 1e-12);
+        assert!((ratios["b"] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_env_overrides_and_rejects_garbage() {
+        std::env::remove_var(TOLERANCE_ENV);
+        assert!((tolerance() - DEFAULT_TOLERANCE).abs() < 1e-12);
+        std::env::set_var(TOLERANCE_ENV, "0.4");
+        assert!((tolerance() - 0.4).abs() < 1e-12);
+        std::env::set_var(TOLERANCE_ENV, "not-a-number");
+        assert!((tolerance() - DEFAULT_TOLERANCE).abs() < 1e-12);
+        std::env::set_var(TOLERANCE_ENV, "-1");
+        assert!((tolerance() - DEFAULT_TOLERANCE).abs() < 1e-12);
+        std::env::remove_var(TOLERANCE_ENV);
+    }
+}

@@ -41,6 +41,30 @@ pub const THREADS: &str = "threads";
 /// shared pairwise-geometry cache (A/B escape hatch; results are
 /// bit-identical either way).
 pub const NO_GEO_CACHE: &str = "no-geometry-cache";
+/// The `--trace-out <path>` flag every subcommand accepts: export the
+/// deterministic trace-event buffer after the run — collapsed flamegraph
+/// stacks when the path ends in `.folded`/`.collapsed`, Chrome
+/// `trace_event` JSON otherwise.
+pub const TRACE_OUT: &str = "trace-out";
+/// The `--metrics-redacted` switch every subcommand accepts: write the
+/// redacted metrics document (durations, sequence numbers and execution-
+/// shape fields zeroed) instead of the full one, so same-seed runs are
+/// byte-comparable.
+pub const METRICS_REDACTED: &str = "metrics-redacted";
+
+/// Observability flags excluded from the normalized argument list a run
+/// manifest records: they route or shape the *observation* of a run, not
+/// the computation, so two runs of the same experiment keep the same
+/// manifest args wherever their metrics go. `--artifact-out` is also
+/// excluded — the artifact cannot name its own path and stay portable.
+const MANIFEST_EXCLUDED: &[&str] = &[
+    METRICS_OUT,
+    METRICS_REDACTED,
+    TRACE,
+    TRACE_OUT,
+    THREADS,
+    "artifact-out",
+];
 
 impl Args {
     /// Parses raw arguments with the global flags ([`METRICS_OUT`],
@@ -58,9 +82,11 @@ impl Args {
         let mut valued: Vec<&str> = valued.to_vec();
         valued.push(METRICS_OUT);
         valued.push(THREADS);
+        valued.push(TRACE_OUT);
         let mut switches: Vec<&str> = switches.to_vec();
         switches.push(TRACE);
         switches.push(NO_GEO_CACHE);
+        switches.push(METRICS_REDACTED);
         Self::parse(raw, &valued, &switches)
     }
 
@@ -117,6 +143,33 @@ impl Args {
     /// Whether a boolean switch was given.
     pub fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+
+    /// The normalized argument list a [`RunManifest`] records:
+    /// positionals in order, then `--flag=value` pairs sorted by flag
+    /// name, then switches sorted by name — with the observability
+    /// routing flags excluded. Two invocations that differ only in flag
+    /// order or in where they send metrics normalize identically.
+    ///
+    /// [`RunManifest`]: tweetmob_obs::RunManifest
+    pub fn normalized(&self) -> Vec<String> {
+        let mut out = self.positionals.clone();
+        let mut flags: Vec<(&String, &String)> = self
+            .flags
+            .iter()
+            .filter(|(name, _)| !MANIFEST_EXCLUDED.contains(&name.as_str()))
+            .collect();
+        flags.sort();
+        out.extend(flags.into_iter().map(|(n, v)| format!("--{n}={v}")));
+        let mut switches: Vec<&String> = self
+            .switches
+            .iter()
+            .filter(|name| !MANIFEST_EXCLUDED.contains(&name.as_str()))
+            .collect();
+        switches.sort();
+        switches.dedup();
+        out.extend(switches.into_iter().map(|n| format!("--{n}")));
+        out
     }
 
     /// Parsed value of a flag with a default.
@@ -213,5 +266,65 @@ mod tests {
         // Plain parse without the helper still rejects them.
         assert!(parse(&["--trace"], &["users"], &[]).is_err());
         assert!(parse(&["--no-geometry-cache"], &["users"], &[]).is_err());
+        assert!(parse(&["--trace-out", "t.json"], &["users"], &[]).is_err());
+        assert!(parse(&["--metrics-redacted"], &["users"], &[]).is_err());
+    }
+
+    #[test]
+    fn new_observability_flags_parse() {
+        let raw = ["out.jsonl", "--trace-out", "t.folded", "--metrics-redacted"];
+        let a = Args::parse_with_observability(raw.iter().map(|s| s.to_string()), &[], &[])
+            .unwrap();
+        assert_eq!(a.get(TRACE_OUT), Some("t.folded"));
+        assert!(a.has(METRICS_REDACTED));
+    }
+
+    #[test]
+    fn normalized_args_sort_flags_and_drop_observability_routing() {
+        let raw = [
+            "data.jsonl",
+            "--scale",
+            "national",
+            "--census",
+            "--metrics-out",
+            "m.json",
+            "--trace",
+            "--trace-out",
+            "t.json",
+            "--threads",
+            "8",
+            "--metrics-redacted",
+            "--artifact-out",
+            "m.tma",
+            "--radius",
+            "25",
+        ];
+        let a = Args::parse_with_observability(
+            raw.iter().map(|s| s.to_string()),
+            &["scale", "radius", "artifact-out"],
+            &["census"],
+        )
+        .unwrap();
+        assert_eq!(
+            a.normalized(),
+            vec!["data.jsonl", "--radius=25", "--scale=national", "--census"]
+        );
+    }
+
+    #[test]
+    fn normalized_args_are_flag_order_invariant() {
+        let a = parse(
+            &["d.jsonl", "--scale", "state", "--census"],
+            &["scale"],
+            &["census"],
+        )
+        .unwrap();
+        let b = parse(
+            &["--census", "--scale", "state", "d.jsonl"],
+            &["scale"],
+            &["census"],
+        )
+        .unwrap();
+        assert_eq!(a.normalized(), b.normalized());
     }
 }

@@ -46,6 +46,7 @@ pub fn export(args: &Args) -> Result<()> {
     });
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     serde_json::to_writer_pretty(BufWriter::new(file), &doc)?;
+    tweetmob_obs::manifest::record_output(out_path);
     println!("wrote experiment results to {out_path}");
     Ok(())
 }
@@ -55,6 +56,9 @@ pub fn export(args: &Args) -> Result<()> {
 /// read got, and bumps the `data/load_errors` counter.
 fn load(path: &str) -> Result<TweetDataset> {
     let _span = tweetmob_obs::span!("load");
+    // Recorded before the read so a corrupt input still appears in the
+    // failure manifest.
+    tweetmob_obs::manifest::record_input(path);
     match read_dataset(path) {
         Ok(ds) if ds.is_empty() => {
             tweetmob_obs::counter!("data/load_errors").add(1);
@@ -83,19 +87,140 @@ fn read_dataset(path: &str) -> Result<TweetDataset> {
     })
 }
 
-/// Writes the metrics JSON (`--metrics-out`) and prints the span trace
-/// (`--trace`) after a command — including after one that failed, so a
-/// partial run's counters and spans are still inspectable.
-pub fn emit_observability(args: &Args) -> Result<()> {
+/// Assembles the run manifest: subcommand, normalized args, seed,
+/// resolved thread count, outcome, content stamps of every recorded
+/// input/output, and the (workspace-shared) crate versions.
+///
+/// Stamping re-reads each file at manifest time; a recorded path that
+/// has since vanished or never existed (the failure case) is skipped
+/// rather than failing the manifest itself.
+fn build_manifest(args: &Args, subcommand: &str, outcome: &str) -> tweetmob_obs::RunManifest {
+    let stamp = |paths: Vec<String>| -> Vec<tweetmob_obs::FileStamp> {
+        paths
+            .iter()
+            .filter_map(|p| tweetmob_obs::FileStamp::of_file(p).ok())
+            .collect()
+    };
+    // Every member pins `version.workspace`, so the CLI's own compile-
+    // time version stamps the whole workspace.
+    let crates = [
+        "tweetmob-cli",
+        "tweetmob-core",
+        "tweetmob-data",
+        "tweetmob-models",
+        "tweetmob-obs",
+    ]
+    .into_iter()
+    .map(|name| (name.to_string(), env!("CARGO_PKG_VERSION").to_string()))
+    .collect();
+    tweetmob_obs::RunManifest {
+        subcommand: subcommand.to_string(),
+        args: args.normalized(),
+        seed: args.get("seed").and_then(|s| s.parse().ok()),
+        threads: u64::try_from(tweetmob_par::resolved_threads()).unwrap_or(u64::MAX),
+        outcome: outcome.to_string(),
+        inputs: stamp(tweetmob_obs::manifest::recorded_inputs()),
+        outputs: stamp(tweetmob_obs::manifest::recorded_outputs()),
+        crates,
+    }
+}
+
+/// The portable manifest a fit-style command embeds in its artifact's
+/// `PROV` section: built before the artifact is written (the artifact
+/// cannot stamp itself), rendered without outputs, outcome or thread
+/// count so artifact bytes stay invariant across thread counts.
+fn embedded_provenance(args: &Args, subcommand: &str) -> String {
+    build_manifest(args, subcommand, "ok").to_embedded_json()
+}
+
+/// Writes the metrics JSON (`--metrics-out`), exports the trace buffer
+/// (`--trace-out`) and prints the span trace (`--trace`) after a
+/// command — including after one that failed, so a partial run's
+/// counters and spans are still inspectable. Sets the `run/outcome`
+/// gauge (0 ok, 1 error) and attaches the run manifest first, so both
+/// land in the metrics document.
+pub fn emit_observability(args: &Args, subcommand: &str, ok: bool) -> Result<()> {
     let registry = tweetmob_obs::global();
+    tweetmob_obs::gauge!("run/outcome").set(i64::from(!ok));
+    registry.set_manifest(build_manifest(
+        args,
+        subcommand,
+        if ok { "ok" } else { "error" },
+    ));
+    let redact = args.has(crate::args::METRICS_REDACTED);
     if let Some(path) = args.get(crate::args::METRICS_OUT) {
-        let mut json = registry.to_json();
+        let mut json = if redact {
+            registry.to_json_redacted()
+        } else {
+            registry.to_json()
+        };
         json.push('\n');
         std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
         eprintln!("wrote pipeline metrics to {path}");
     }
+    if let Some(path) = args.get(crate::args::TRACE_OUT) {
+        let rendered = if path.ends_with(".folded") || path.ends_with(".collapsed") {
+            registry.to_collapsed_stacks(redact)
+        } else {
+            registry.to_chrome_trace(redact)
+        };
+        std::fs::write(path, rendered)
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("wrote trace events to {path}");
+    }
     if args.has(crate::args::TRACE) {
         eprint!("{}", registry.render_trace());
+    }
+    Ok(())
+}
+
+/// `tweetmob provenance <artifact.tma>` — print the `PROV` manifest an
+/// artifact carries and verify its recorded input hashes against the
+/// files as they exist now.
+pub fn provenance(args: &Args) -> Result<()> {
+    let path = args.positional(0).ok_or("missing artifact argument")?;
+    tweetmob_obs::manifest::record_input(path);
+    let bundle = {
+        let _span = tweetmob_obs::span!("artifact_in");
+        ModelBundle::load_file(path)?
+    };
+    let Some(manifest) = bundle.provenance() else {
+        return Err(format!(
+            "{path}: artifact carries no PROV section (written before provenance support)"
+        )
+        .into());
+    };
+    println!("{manifest}");
+    let doc: serde_json::Value = serde_json::from_str(manifest)
+        .map_err(|e| format!("{path}: PROV payload is not valid JSON: {e}"))?;
+    let mut mismatches = 0u32;
+    for input in doc
+        .get("inputs")
+        .and_then(|v| v.as_array())
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+    {
+        let (Some(p), Some(expected)) = (
+            input.get("path").and_then(|v| v.as_str()),
+            input.get("fnv1a64").and_then(|v| v.as_str()),
+        ) else {
+            continue;
+        };
+        match tweetmob_obs::manifest::fnv1a64_file(p) {
+            Ok((_, hash)) => {
+                let actual = format!("{hash:016x}");
+                if actual == expected {
+                    eprintln!("input {p}: fnv1a64 {actual} verified");
+                } else {
+                    eprintln!("input {p}: MISMATCH manifest {expected} != file {actual}");
+                    mismatches += 1;
+                }
+            }
+            Err(e) => eprintln!("input {p}: not verifiable here ({e})"),
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} input hash mismatch(es) against {path}").into());
     }
     Ok(())
 }
@@ -152,6 +277,7 @@ fn bundle_arg(args: &Args) -> Result<ModelBundle> {
     match (args.get("artifact-in"), args.get("fit")) {
         (Some(path), None) => {
             let _span = tweetmob_obs::span!("artifact_in");
+            tweetmob_obs::manifest::record_input(path);
             Ok(ModelBundle::load_file(path)?)
         }
         (None, Some(dataset)) => {
@@ -178,6 +304,7 @@ pub fn generate(args: &Args) -> Result<()> {
     } else {
         dataio::write_jsonl(&ds, writer)?;
     }
+    tweetmob_obs::manifest::record_output(out_path);
     println!(
         "wrote {} tweets from {} users to {out_path}",
         ds.n_tweets(),
@@ -209,7 +336,7 @@ pub fn population(args: &Args) -> Result<()> {
 /// [--artifact-out PATH]`
 pub fn mobility(args: &Args) -> Result<()> {
     let ds = dataset_arg(args)?;
-    let (report, bundle) = fit_bundle(args, &ds)?;
+    let (report, mut bundle) = fit_bundle(args, &ds)?;
     print!("{report}");
     if args.has("extended") {
         let ablation = deterrence_ablation(&report);
@@ -221,7 +348,9 @@ pub fn mobility(args: &Args) -> Result<()> {
         }
     }
     if let Some(path) = args.get("artifact-out") {
+        bundle.set_provenance(embedded_provenance(args, "mobility"));
         bundle.save_file(path)?;
+        tweetmob_obs::manifest::record_output(path);
         println!("artifact written to {path}");
     }
     Ok(())
@@ -236,8 +365,10 @@ pub fn fit(args: &Args) -> Result<()> {
         .get("artifact-out")
         .ok_or("missing --artifact-out PATH")?;
     let ds = dataset_arg(args)?;
-    let (report, bundle) = fit_bundle(args, &ds)?;
+    let (report, mut bundle) = fit_bundle(args, &ds)?;
+    bundle.set_provenance(embedded_provenance(args, "fit"));
     bundle.save_file(out)?;
+    tweetmob_obs::manifest::record_output(out);
     print!("{report}");
     println!(
         "artifact: {} areas, {} populations, models fitted on {} trips → {out}",
@@ -354,6 +485,7 @@ pub fn epidemic(args: &Args) -> Result<()> {
     // populations (the paper's proposed pipeline), bit-identically.
     let bundle = if let Some(path) = args.get("artifact-in") {
         let _span = tweetmob_obs::span!("artifact_in");
+        tweetmob_obs::manifest::record_input(path);
         ModelBundle::load_file(path)?
     } else {
         let ds = dataset_arg(args)?;

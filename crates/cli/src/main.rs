@@ -8,6 +8,7 @@
 //! tweetmob mobility out.jsonl --scale state --extended
 //! tweetmob mobility out.jsonl --scale national --metrics-out metrics.json --trace
 //! tweetmob fit out.jsonl --artifact-out models.tma
+//! tweetmob provenance models.tma
 //! tweetmob predict --artifact-in models.tma --origin Sydney --top 5
 //! tweetmob epidemic --artifact-in models.tma --beta 0.5 --gamma 0.2
 //! ```
@@ -66,12 +67,21 @@ COMMANDS:
         --restrict DAY:FACTOR    travel restriction, e.g. 30:0.1
         --immune F               initial immune fraction       [default 0]
     export <dataset> <out.json>  machine-readable results of all experiments
+    provenance <artifact.tma>    print an artifact's embedded run manifest
+                             and verify its recorded input hashes
     help                         this text
 
 GLOBAL FLAGS (accepted by every command):
     --metrics-out PATH       write pipeline metrics (spans, counters,
-                             histograms) as JSON after the run
+                             histograms, run manifest, trace) as JSON
+                             after the run
+    --metrics-redacted       write the redacted metrics document instead
+                             (durations and execution-shape fields
+                             zeroed; byte-identical across same-seed runs)
     --trace                  print the span trace tree to stderr
+    --trace-out PATH         export the trace-event buffer: collapsed
+                             flamegraph stacks for .folded/.collapsed,
+                             Chrome trace_event JSON otherwise
     --threads N              worker threads for parallel stages
                              (overrides TWEETMOB_THREADS; results are
                              identical at every thread count)
@@ -139,6 +149,7 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             &[],
         ),
         "export" => (commands::export, &[], &[]),
+        "provenance" => (commands::provenance, &[], &[]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return Ok(());
@@ -158,7 +169,8 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     }
     let result = handler(&args);
     // Metrics are emitted even after a failed command — a partial run's
-    // counters and spans are exactly what is needed to debug it.
-    let emitted = commands::emit_observability(&args);
+    // counters, spans and manifest are exactly what is needed to debug
+    // it, with `run/outcome` recording how the run ended.
+    let emitted = commands::emit_observability(&args, &command, result.is_ok());
     result.and(emitted)
 }

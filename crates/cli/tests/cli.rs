@@ -279,6 +279,17 @@ fn redact_par_gauges(v: &mut serde_json::Value) {
     }
 }
 
+/// Drops manifest fields that differ between the runs by construction:
+/// the per-run output path appears in `args` and `outputs`, and
+/// `threads` is the variable under test. Everything else in the
+/// manifest — input fingerprints, subcommand, crate versions — must
+/// still agree.
+fn redact_run_identity(v: &mut serde_json::Value) {
+    if let Some(m) = v.get_mut("manifest").and_then(|m| m.as_object_mut()) {
+        m.retain(|k, _| !matches!(k.as_str(), "args" | "threads" | "outputs"));
+    }
+}
+
 #[test]
 fn results_byte_identical_across_thread_counts() {
     let data = tmp("threads.jsonl");
@@ -316,6 +327,7 @@ fn results_byte_identical_across_thread_counts() {
             serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
         redact_durations(&mut doc);
         redact_par_gauges(&mut doc);
+        redact_run_identity(&mut doc);
         metric_docs.push(doc);
         std::fs::remove_file(&out_json).ok();
         std::fs::remove_file(&metrics).ok();
@@ -380,8 +392,268 @@ fn failed_command_still_emits_metrics() {
     let doc: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
     assert_eq!(doc["counters"]["data/load_errors"], 1);
+    // The failure document still carries the partial span tree, the
+    // trace events that led up to the error, the run manifest with the
+    // corrupt input stamped, and the outcome gauge.
+    assert_eq!(doc["gauges"]["run/outcome"], 1);
+    assert_eq!(doc["manifest"]["outcome"], "error");
+    assert_eq!(doc["manifest"]["subcommand"], "summary");
+    assert_eq!(
+        doc["manifest"]["inputs"][0]["path"],
+        serde_json::json!(bad.to_str().unwrap())
+    );
+    assert_eq!(doc["manifest"]["inputs"][0]["bytes"], 9);
+    assert!(doc["timing"]["spans"]["load"]["calls"].as_u64().is_some());
+    let events = doc["trace"]["events"].as_array().unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e["path"] == "load" && e["phase"] == "B"),
+        "trace records the span that was open when the run died: {events:?}"
+    );
     std::fs::remove_file(&bad).ok();
     std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn successful_run_manifest_records_outcome_inputs_and_seed() {
+    let data = tmp("manifest.jsonl");
+    let metrics = tmp("manifest-metrics.json");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "400",
+        "--seed",
+        "23",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc["gauges"]["run/outcome"], 0);
+    let manifest = &doc["manifest"];
+    assert_eq!(manifest["subcommand"], "generate");
+    assert_eq!(manifest["outcome"], "ok");
+    assert_eq!(manifest["seed"], 23);
+    assert_eq!(manifest["schema_version"], 1);
+    // Normalized args: positional + sorted flags, no --metrics-out.
+    let args: Vec<&str> = manifest["args"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|a| a.as_str().unwrap())
+        .collect();
+    assert_eq!(
+        args,
+        vec![data.to_str().unwrap(), "--seed=23", "--users=400"]
+    );
+    // The generated dataset is stamped as an output with its hash.
+    let outputs = manifest["outputs"].as_array().unwrap();
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(outputs[0]["path"], serde_json::json!(data.to_str().unwrap()));
+    assert_eq!(
+        outputs[0]["bytes"].as_u64().unwrap(),
+        std::fs::metadata(&data).unwrap().len()
+    );
+    assert_eq!(outputs[0]["fnv1a64"].as_str().unwrap().len(), 16);
+    assert!(manifest["threads"].as_u64().unwrap() >= 1);
+    assert!(manifest["crates"]["tweetmob-cli"].is_string());
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn redacted_metrics_byte_identical_across_thread_counts() {
+    let data = tmp("redacted.jsonl");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "2500",
+        "--seed",
+        "31"
+    ])
+    .status
+    .success());
+    let mut docs = Vec::new();
+    for (name, threads) in [("red-1", "1"), ("red-8", "8")] {
+        let metrics = tmp(&format!("{name}.json"));
+        let out = run(&[
+            "mobility",
+            data.to_str().unwrap(),
+            "--scale",
+            "national",
+            "--threads",
+            threads,
+            "--metrics-redacted",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        docs.push(std::fs::read(&metrics).unwrap());
+        std::fs::remove_file(&metrics).ok();
+    }
+    // No JSON-level normalization: the redacted document — including
+    // the trace events and the manifest — must already be byte-stable.
+    assert_eq!(
+        docs[0], docs[1],
+        "redacted metrics must be byte-identical at 1 vs 8 threads"
+    );
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn trace_out_exports_chrome_and_collapsed_formats() {
+    let data = tmp("traceout.jsonl");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "600",
+        "--seed",
+        "12"
+    ])
+    .status
+    .success());
+    let chrome = tmp("trace.json");
+    let folded = tmp("trace.folded");
+    let out = run(&[
+        "mobility",
+        data.to_str().unwrap(),
+        "--trace-out",
+        chrome.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    assert!(events
+        .iter()
+        .all(|e| e["ph"] == "X" && e["pid"] == 1 && e["name"].is_string()));
+    assert!(events.iter().any(|e| e["name"] == "load"));
+    let out = run(&[
+        "mobility",
+        data.to_str().unwrap(),
+        "--trace-out",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        text.lines().any(|l| l.starts_with("load/read_jsonl ")
+            || l.starts_with("load;read_jsonl ")),
+        "collapsed stacks use ;-joined frames: {text}"
+    );
+    for line in text.lines() {
+        let (_stack, weight) = line.rsplit_once(' ').expect("stack weight");
+        weight.parse::<u64>().expect("numeric weight");
+    }
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&chrome).ok();
+    std::fs::remove_file(&folded).ok();
+}
+
+#[test]
+fn fit_embeds_provenance_and_provenance_command_verifies_it() {
+    let data = tmp("prov.jsonl");
+    let artifact = tmp("prov.tma");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "1200",
+        "--seed",
+        "19"
+    ])
+    .status
+    .success());
+    let out = run(&[
+        "fit",
+        data.to_str().unwrap(),
+        "--artifact-out",
+        artifact.to_str().unwrap(),
+        "--scale",
+        "national",
+    ]);
+    assert!(out.status.success(), "fit: {}", stderr(&out));
+
+    // provenance prints the embedded manifest and verifies the input.
+    let out = run(&["provenance", artifact.to_str().unwrap()]);
+    assert!(out.status.success(), "provenance: {}", stderr(&out));
+    let manifest: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(manifest["subcommand"], "fit");
+    assert_eq!(manifest["schema_version"], 1);
+    assert_eq!(
+        manifest["inputs"][0]["path"],
+        serde_json::json!(data.to_str().unwrap())
+    );
+    // Portable: no execution-shape or output fields inside an artifact.
+    assert!(manifest.get("threads").is_none());
+    assert!(manifest.get("outputs").is_none());
+    assert!(manifest.get("outcome").is_none());
+    let err = stderr(&out);
+    assert!(err.contains("verified"), "{err}");
+
+    // Tampering with the recorded input is detected.
+    let mut bytes = std::fs::read(&data).unwrap();
+    bytes.push(b'\n');
+    std::fs::write(&data, &bytes).unwrap();
+    let out = run(&["provenance", artifact.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("MISMATCH"), "{}", stderr(&out));
+
+    // The fitted artifact loads and predicts regardless.
+    let out = run(&[
+        "predict",
+        "--artifact-in",
+        artifact.to_str().unwrap(),
+        "--origin",
+        "Sydney",
+        "--top",
+        "3",
+    ]);
+    assert!(out.status.success(), "predict: {}", stderr(&out));
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn artifacts_byte_identical_across_thread_counts_with_provenance() {
+    let data = tmp("prov-threads.jsonl");
+    assert!(run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--users",
+        "1500",
+        "--seed",
+        "29"
+    ])
+    .status
+    .success());
+    let mut artifacts = Vec::new();
+    for (name, threads) in [("prov-t1", "1"), ("prov-t8", "8")] {
+        let artifact = tmp(&format!("{name}.tma"));
+        let out = run(&[
+            "fit",
+            data.to_str().unwrap(),
+            "--artifact-out",
+            artifact.to_str().unwrap(),
+            "--threads",
+            threads,
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        artifacts.push(std::fs::read(&artifact).unwrap());
+        std::fs::remove_file(&artifact).ok();
+    }
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "PROV-carrying artifacts must stay byte-identical across thread counts"
+    );
+    std::fs::remove_file(&data).ok();
 }
 
 #[test]

@@ -19,8 +19,8 @@
 //! 12     …     sections: tag [u8;4] | payload len (u64 LE) | payload
 //! ```
 //!
-//! Sections (all required, order not significant; unknown tags are
-//! skipped so older readers survive additive extensions):
+//! Sections (order not significant; unknown tags are skipped so older
+//! readers survive additive extensions):
 //!
 //! * `META` — label, population source (u16-length strings), search
 //!   radius (f64 bits);
@@ -29,7 +29,13 @@
 //! * `POPS` — the population vector the models were fitted against;
 //! * `MODL` — the fitted parameters of all four models;
 //! * `GEOM` — the serialized [`PairGeometry`]
-//!   ([`PairGeometry::to_bytes`], itself versioned).
+//!   ([`PairGeometry::to_bytes`], itself versioned);
+//! * `PROV` (optional) — run provenance: the portable
+//!   `tweetmob-obs` manifest JSON (UTF-8, stored verbatim) describing
+//!   the exact fit run — subcommand, normalized args, seed, input
+//!   content hashes, crate versions. Written by readers that set it
+//!   ([`ModelBundle::set_provenance`]); absent from older artifacts and
+//!   skipped by readers that predate it.
 //!
 //! Every float travels as its IEEE-754 bit pattern, so a loaded bundle
 //! predicts **bit-identically** to the in-memory fit it was saved from
@@ -62,6 +68,7 @@ const TAG_AREA: [u8; 4] = *b"AREA";
 const TAG_POPS: [u8; 4] = *b"POPS";
 const TAG_MODL: [u8; 4] = *b"MODL";
 const TAG_GEOM: [u8; 4] = *b"GEOM";
+const TAG_PROV: [u8; 4] = *b"PROV";
 
 /// Experiment provenance stored in a bundle's `META` section.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +109,7 @@ pub struct ModelBundle {
     models: FittedModelSet,
     geometry: Arc<PairGeometry>,
     intervening: InterveningPopulation,
+    provenance: Option<String>,
 }
 
 impl ModelBundle {
@@ -137,7 +145,21 @@ impl ModelBundle {
             models,
             geometry,
             intervening,
+            provenance: None,
         }
+    }
+
+    /// Attaches a run-provenance document (the portable `tweetmob-obs`
+    /// manifest JSON) to be written as the bundle's `PROV` section.
+    pub fn set_provenance(&mut self, manifest_json: String) {
+        self.provenance = Some(manifest_json);
+    }
+
+    /// The run-provenance document stored in the bundle's `PROV`
+    /// section, if the writer recorded one.
+    #[must_use]
+    pub fn provenance(&self) -> Option<&str> {
+        self.provenance.as_deref()
     }
 
     /// Experiment provenance.
@@ -299,18 +321,23 @@ impl ModelBundle {
 
         let geom = self.geometry.to_bytes();
 
-        let sections: [(&[u8; 4], &[u8]); 5] = [
+        let mut sections: Vec<(&[u8; 4], &[u8])> = vec![
             (&TAG_META, &meta),
             (&TAG_AREA, &area),
             (&TAG_POPS, &pops),
             (&TAG_MODL, &modl),
             (&TAG_GEOM, &geom),
         ];
+        // Raw UTF-8 bytes under the section's own u64 length framing —
+        // a u16-prefixed string would truncate a long manifest.
+        if let Some(prov) = &self.provenance {
+            sections.push((&TAG_PROV, prov.as_bytes()));
+        }
         let body: usize = sections.iter().map(|(_, p)| 4 + 8 + p.len()).sum();
         let mut out = Vec::with_capacity(12 + body);
         out.put_slice(&ARTIFACT_MAGIC);
         out.put_u32_le(ARTIFACT_VERSION);
-        out.put_u32_le(sections.len() as u32);
+        out.put_u32_le(clamp_u32(sections.len()));
         for (tag, payload) in sections {
             out.put_slice(tag);
             out.put_u64_le(payload.len() as u64);
@@ -341,6 +368,7 @@ impl ModelBundle {
         let mut populations: Option<Vec<f64>> = None;
         let mut models: Option<FittedModelSet> = None;
         let mut geometry: Option<Arc<PairGeometry>> = None;
+        let mut provenance: Option<String> = None;
 
         for _ in 0..n_sections {
             let mut tag = [0u8; 4];
@@ -366,6 +394,11 @@ impl ModelBundle {
                     let geo =
                         PairGeometry::from_bytes(payload).map_err(|e| format_err(e.to_string()))?;
                     set_once(&mut geometry, Arc::new(geo), "GEOM")?;
+                }
+                TAG_PROV => {
+                    let json = String::from_utf8(payload.to_vec())
+                        .map_err(|_| format_err("PROV section is not valid UTF-8".into()))?;
+                    set_once(&mut provenance, json, "PROV")?;
                 }
                 // Unknown section: a newer writer added something this
                 // reader does not understand — skip it.
@@ -393,7 +426,9 @@ impl ModelBundle {
                 geometry.len()
             )));
         }
-        Ok(Self::new(meta, areas, populations, models, geometry))
+        let mut bundle = Self::new(meta, areas, populations, models, geometry);
+        bundle.provenance = provenance;
+        Ok(bundle)
     }
 
     /// Writes the bundle to a stream, recording the `artifact/save`
@@ -839,6 +874,78 @@ mod tests {
         let loaded = ModelBundle::load(&buf[..]).unwrap();
         assert_eq!(loaded.meta(), bundle.meta());
         assert_eq!(loaded.models(), bundle.models());
+    }
+
+    #[test]
+    fn provenance_round_trips_byte_identically() {
+        let mut bundle = sample_bundle(4, 67);
+        assert_eq!(bundle.provenance(), None);
+        let manifest = r#"{"schema_version": 1, "seed": 42, "subcommand": "fit"}"#;
+        bundle.set_provenance(manifest.to_string());
+        let mut first = Vec::new();
+        bundle.save(&mut first).unwrap();
+        let loaded = ModelBundle::load(&first[..]).unwrap();
+        assert_eq!(loaded.provenance(), Some(manifest));
+        // Canonical re-encode holds with the optional section present.
+        let mut second = Vec::new();
+        loaded.save(&mut second).unwrap();
+        assert_eq!(first, second, "re-encoding must be canonical");
+        assert_eq!(loaded.models(), bundle.models());
+    }
+
+    #[test]
+    fn provenance_is_invisible_to_old_readers() {
+        // An old reader sees PROV as just another unknown tag. Emulate
+        // one by renaming the tag so this reader's PROV arm never fires.
+        let mut bundle = sample_bundle(4, 67);
+        bundle.set_provenance("{\"seed\": 1}".to_string());
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let pos = buf
+            .windows(4)
+            .position(|w| w == b"PROV")
+            .expect("PROV tag present");
+        buf[pos..pos + 4].copy_from_slice(b"XPRV");
+        let loaded = ModelBundle::load(&buf[..]).unwrap();
+        assert_eq!(loaded.provenance(), None);
+        assert_eq!(loaded.models(), bundle.models());
+    }
+
+    #[test]
+    fn duplicate_prov_sections_are_rejected() {
+        let mut bundle = sample_bundle(4, 67);
+        bundle.set_provenance("{}".to_string());
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let count = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        buf[8..12].copy_from_slice(&(count + 1).to_le_bytes());
+        buf.extend_from_slice(b"PROV");
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(b"{}");
+        match ModelBundle::load(&buf[..]) {
+            Err(IoError::Format { message, .. }) => {
+                assert!(message.contains("duplicate PROV"), "{message}");
+            }
+            other => panic!("expected duplicate-section error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_prov_is_a_format_error() {
+        let bundle = sample_bundle(4, 67);
+        let mut buf = Vec::new();
+        bundle.save(&mut buf).unwrap();
+        let count = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        buf[8..12].copy_from_slice(&(count + 1).to_le_bytes());
+        buf.extend_from_slice(b"PROV");
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        match ModelBundle::load(&buf[..]) {
+            Err(IoError::Format { message, .. }) => {
+                assert!(message.contains("UTF-8"), "{message}");
+            }
+            other => panic!("expected UTF-8 error, got {other:?}"),
+        }
     }
 
     #[test]

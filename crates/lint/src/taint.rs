@@ -15,8 +15,8 @@
 //! bindings initialised from a nondeterministic source, propagates the
 //! taint through later `let` bindings that mention a tainted name, and
 //! reports any tainted identifier appearing in the argument list of a
-//! serialization sink (functions whose name mentions `json`/`serialize`,
-//! and the formatting macros). Taint does not cross function boundaries —
+//! serialization sink (functions whose name mentions `json`/`serialize`
+//! or one of the trace-event exporters, and the formatting macros). Taint does not cross function boundaries —
 //! a tainted value returned from a helper re-enters untracked. That
 //! under-approximation is the price of a dep-free engine; the textual
 //! `determinism` rule still bans the sources outright in result crates,
@@ -48,6 +48,16 @@ impl Source {
 const SINK_MACROS: &[&str] = &[
     "print", "println", "eprint", "eprintln", "write", "writeln", "format",
 ];
+
+/// Sink functions, matched by name substring: JSON/serialization
+/// surfaces plus the trace-event exporters. The exporters turn the
+/// event log into Chrome-trace JSON or collapsed flamegraph stacks, so
+/// a timing value smuggled into their arguments would land in exported
+/// bytes exactly like one smuggled into a `to_json` call. The exporters
+/// *inside* `tweetmob-obs` stay exempt with the rest of that crate —
+/// the event log's `t_ns`/`dur_ns` payloads are the sanctioned,
+/// redactable timing path.
+const SINK_FN_SUBSTRINGS: &[&str] = &["json", "serialize", "chrome_trace", "collapsed_stacks"];
 
 /// Runs the taint pass over every non-test function with a body, except in
 /// `tweetmob-obs` (the sanctioned `_ns` redaction path).
@@ -220,7 +230,7 @@ fn check_body(
             let next = toks.get(k + 1).map(|t2| t2.kind);
             let lower = name.to_ascii_lowercase();
             let is_fn_sink = matches!(next, Some(TokKind::Punct(b'(')))
-                && (lower.contains("json") || lower.contains("serialize"));
+                && SINK_FN_SUBSTRINGS.iter().any(|s| lower.contains(s));
             let is_macro_sink =
                 matches!(next, Some(TokKind::Punct(b'!'))) && SINK_MACROS.contains(&lower.as_str());
             if is_fn_sink || is_macro_sink {

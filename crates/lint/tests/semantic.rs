@@ -316,6 +316,51 @@ fn to_json(v: &u32) -> String {
 }
 
 #[test]
+fn taint_flags_clock_values_flowing_into_trace_exporters() {
+    // Both exporter spellings are sinks: a wall-clock value handed to
+    // either would put nondeterministic bytes in the exported trace.
+    for sink in ["to_chrome_trace", "to_collapsed_stacks"] {
+        let body = format!(
+            "\
+/// Exports the event log, wrongly skewed by a live clock reading.
+pub fn export(start: std::time::Instant, buf: &TraceLog) -> String {{
+    let skew = start.elapsed().as_nanos() as u64;
+    buf.{sink}(skew)
+}}
+"
+        );
+        let diags = lint_one("tweetmob-cli", &body);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::DeterminismTaint && d.message.contains("wall-clock")),
+            "{sink} should be a taint sink: {}",
+            render_report(&diags)
+        );
+    }
+}
+
+#[test]
+fn taint_exempts_trace_exporters_inside_obs() {
+    // The event log's own exporter is the sanctioned path: inside
+    // tweetmob-obs the redaction contract (and its byte-diff tests)
+    // polices timing, not the taint pass.
+    let body = "\
+/// Renders the event buffer, stamping each event's recorded clock.
+pub fn export(log: &TraceLog, captured_at: std::time::Instant) -> String {
+    let t_ns = captured_at.elapsed().as_nanos() as u64;
+    log.to_chrome_trace(t_ns)
+}
+";
+    let diags = lint_one("tweetmob-obs", body);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::DeterminismTaint),
+        "{}",
+        render_report(&diags)
+    );
+}
+
+#[test]
 fn taint_exempts_obs_and_untainted_values() {
     let body = "\
 /// Prints how long a stage took.

@@ -102,6 +102,60 @@ impl Histogram {
             .last()
             .map_or(0, |b| b.load(Ordering::Relaxed))
     }
+
+    /// Estimated value at quantile `q` in `[0, 1]` by linear
+    /// interpolation within the bucket the quantile rank lands in.
+    /// See [`HistogramInner::quantile`] for the exact semantics.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.quantile(q)
+    }
+}
+
+impl HistogramInner {
+    /// Estimated value at quantile `q` in `[0, 1]`.
+    ///
+    /// The quantile rank `r = q * count` is walked through the
+    /// cumulative bucket counts; within the bucket it lands in, the
+    /// value is interpolated linearly between the bucket's lower edge
+    /// (the previous bound, or 0 for the first bucket) and its upper
+    /// bound. Consequences pinned by the unit tests:
+    ///
+    /// * a rank landing exactly on a cumulative-count boundary returns
+    ///   exactly that bucket's upper bound;
+    /// * ranks in the overflow bucket saturate at the last bound (the
+    ///   histogram does not know how far above it samples went);
+    /// * an empty histogram returns 0.
+    ///
+    /// The result is rounded to the nearest integer so it can live in
+    /// the integer-only JSON document.
+    pub(crate) fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 || self.bounds.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Lossless for any count a histogram can practically hold.
+        let rank = q * count as f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            let upper = match self.bounds.get(i) {
+                Some(&b) => b,
+                // Overflow bucket: saturate at the last bound.
+                None => return *self.bounds.last().unwrap_or(&0),
+            };
+            let next = cumulative + in_bucket;
+            if rank <= next as f64 && in_bucket > 0 {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let frac = (rank - cumulative as f64) / in_bucket as f64;
+                let value = lower as f64 + frac.clamp(0.0, 1.0) * (upper - lower) as f64;
+                return value.round() as u64;
+            }
+            cumulative = next;
+        }
+        *self.bounds.last().unwrap_or(&0)
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +196,54 @@ mod tests {
         h.record(7);
         assert_eq!(h.count(), 0);
         assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+
+    #[test]
+    fn quantile_pins_exactly_at_bucket_boundaries() {
+        // 4 samples in (0, 10], 4 in (10, 20]: the p50 rank (4.0) lands
+        // exactly on the first bucket's cumulative edge, so p50 is
+        // exactly the first bound — no bleed into the next bucket.
+        let h = hist(&[10, 20]);
+        for v in [2, 4, 6, 8, 12, 14, 16, 18] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(1.0), 20);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_within_a_bucket() {
+        // All 10 samples in the (0, 100] bucket: rank q*10 sits at
+        // fraction q of the bucket, so pXX == XX exactly.
+        let h = hist(&[100]);
+        for _ in 0..10 {
+            h.record(50);
+        }
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.9), 90);
+        assert_eq!(h.quantile(0.99), 99);
+    }
+
+    #[test]
+    fn quantile_saturates_in_overflow_and_handles_empty() {
+        let h = hist(&[10]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        h.record(5);
+        h.record(1_000); // overflow
+        // p99 rank lands in the overflow bucket: saturate at the last
+        // bound rather than invent a value the histogram never saw.
+        assert_eq!(h.quantile(0.99), 10);
+    }
+
+    #[test]
+    fn quantile_skips_empty_leading_buckets() {
+        let h = hist(&[10, 20, 30]);
+        for v in [25, 25, 25, 25] {
+            h.record(v);
+        }
+        // Everything sits in (20, 30]; p50 interpolates inside it.
+        assert_eq!(h.quantile(0.5), 25);
+        assert_eq!(h.quantile(1.0), 30);
     }
 }

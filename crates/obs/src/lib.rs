@@ -37,6 +37,18 @@
 //! Tests and benches that need isolation construct their own
 //! [`MetricsRegistry`] instead.
 //!
+//! Beyond aggregates, the registry keeps a bounded, sequence-ordered
+//! [`TraceEvent`] ring buffer ([`mod@trace`]) exportable as Chrome
+//! `trace_event` JSON or collapsed flamegraph stacks, and can carry a
+//! [`RunManifest`] ([`mod@manifest`]) — the run's provenance (args,
+//! seed, input/output content hashes, crate versions) — serialized into
+//! the metrics document and embeddable in artifacts.
+//!
+//! With the `alloc` feature (and a `tweetmob_alloc::CountingAlloc`
+//! installed as the global allocator by the host binary), every closed
+//! span additionally publishes `alloc/<path>/{allocations,peak_bytes}`
+//! gauges.
+//!
 //! This crate is the one place in the workspace permitted to call
 //! `std::time::Instant::now` — `tweetmob-lint`'s determinism rule
 //! enforces that everything else routes timing through this API.
@@ -45,12 +57,16 @@
 #![deny(missing_docs)]
 
 mod histogram;
+pub mod manifest;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use histogram::Histogram;
+pub use manifest::{FileStamp, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use span::{SpanGuard, SpanStat, LATENCY_BOUNDS_NS};
+pub use trace::{TraceEvent, TracePhase, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::OnceLock;
 

@@ -2,11 +2,13 @@
 //! timings, serializable to a stable JSON document.
 
 use crate::histogram::{Histogram, HistogramInner};
+use crate::manifest::RunManifest;
 use crate::span::{SpanGuard, SpanStat, SpanStore, LATENCY_BOUNDS_NS};
+use crate::trace::{TraceBuffer, TraceEvent, TracePhase};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// A cloneable handle onto one registered monotonic counter.
@@ -67,8 +69,10 @@ impl Gauge {
 ///
 /// Serialization ([`MetricsRegistry::to_json`]) is deterministic: keys
 /// are `BTreeMap`-ordered and no wall-clock timestamp appears anywhere.
-/// The only run-to-run variation is duration data — fields suffixed
-/// `_ns` and the `timing/latency_ns` subtree — which
+/// The run-to-run variation is duration data and execution shape —
+/// fields suffixed `_ns`, the `timing/latency_ns` subtree, trace-event
+/// timestamps and sequence numbers, allocator (`alloc/`) and worker-pool
+/// (`par/`) gauges, and the manifest thread count — all of which
 /// [`MetricsRegistry::to_json_redacted`] zeroes for byte-comparison.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -77,6 +81,11 @@ pub struct MetricsRegistry {
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
     spans: Mutex<SpanStore>,
+    trace: Mutex<TraceBuffer>,
+    manifest: Mutex<Option<RunManifest>>,
+    /// The instant of the first recorded trace event; every event's
+    /// `t_ns` is an offset from it, so no wall-clock value is stored.
+    epoch: OnceLock<Instant>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -163,17 +172,38 @@ impl MetricsRegistry {
     /// that never reads the clock.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         if !self.is_enabled() {
-            return SpanGuard { active: None };
+            return SpanGuard {
+                active: None,
+                #[cfg(feature = "alloc")]
+                alloc_at_open: None,
+            };
         }
         let path = crate::span::push_scope(name);
-        lock(&self.spans).note_start(&path);
+        let t_ns = self.epoch_ns();
+        {
+            let mut spans = lock(&self.spans);
+            spans.note_start(&path);
+        }
+        lock(&self.trace).record(TracePhase::Begin, &path, t_ns, 0);
         SpanGuard {
             active: Some((self, path, Instant::now())),
+            #[cfg(feature = "alloc")]
+            alloc_at_open: tweetmob_alloc::is_counting().then(tweetmob_alloc::snapshot),
         }
     }
 
-    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64) {
-        lock(&self.spans).record(path, elapsed_ns);
+    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64, child_ns: u64) {
+        let t_ns = self.epoch_ns();
+        lock(&self.spans).record(path, elapsed_ns, child_ns);
+        lock(&self.trace)
+            .record(TracePhase::End, path, t_ns, elapsed_ns);
+    }
+
+    /// Nanoseconds since the registry's first trace event (the epoch is
+    /// initialized on first call, so the first event reads ~0).
+    fn epoch_ns(&self) -> u64 {
+        let elapsed = self.epoch.get_or_init(Instant::now).elapsed().as_nanos();
+        u64::try_from(elapsed).unwrap_or(u64::MAX)
     }
 
     /// Current value of a counter, or `None` if never registered.
@@ -204,8 +234,40 @@ impl MetricsRegistry {
         lock(&self.spans).order.clone()
     }
 
-    /// Zeroes every counter and histogram, clears gauges and spans.
-    /// Handles already handed out stay valid (they share the cells).
+    /// A snapshot of the trace ring buffer, oldest event first.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        lock(&self.trace).events()
+    }
+
+    /// How many trace events have been dropped by the bounded buffer.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        lock(&self.trace).dropped()
+    }
+
+    /// Resizes the trace ring buffer (default
+    /// [`crate::trace::DEFAULT_TRACE_CAPACITY`] events); shrinking drops
+    /// the oldest events. Capacity 0 disables event recording entirely.
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        lock(&self.trace).set_capacity(capacity);
+    }
+
+    /// Attaches the run's provenance manifest; it serializes as the
+    /// document's `manifest` section (rendered as `null` until set).
+    pub fn set_manifest(&self, manifest: RunManifest) {
+        *lock(&self.manifest) = Some(manifest);
+    }
+
+    /// The attached provenance manifest, if any.
+    #[must_use]
+    pub fn manifest(&self) -> Option<RunManifest> {
+        lock(&self.manifest).clone()
+    }
+
+    /// Zeroes every counter and histogram, clears gauges, spans, trace
+    /// events and the manifest. Handles already handed out stay valid
+    /// (they share the cells).
     pub fn reset(&self) {
         for cell in lock(&self.counters).values() {
             cell.store(0, Ordering::Relaxed);
@@ -221,6 +283,8 @@ impl MetricsRegistry {
             hist.sum.store(0, Ordering::Relaxed);
         }
         *lock(&self.spans) = SpanStore::default();
+        *lock(&self.trace) = TraceBuffer::default();
+        *lock(&self.manifest) = None;
     }
 
     /// Serializes the registry to its stable JSON document. Two runs of
@@ -249,15 +313,20 @@ impl MetricsRegistry {
         });
         drop(counters);
         out.push_str("},\n");
-        // gauges — `_ns`-suffixed names carry durations (e.g.
-        // cache/pairgeo/build_ns) and are zeroed under redaction like
-        // every other duration field.
+        // gauges — redaction zeroes everything that varies run to run or
+        // with execution shape: `_ns`-suffixed durations (e.g.
+        // cache/pairgeo/build_ns), allocator accounting (`alloc/`), and
+        // worker-pool shape (`par/`, the documented thread-variant
+        // exception of DESIGN.md §10).
         out.push_str("  \"gauges\": {");
         let gauges = lock(&self.gauges);
         write_entries(
             &mut out,
             gauges.iter().map(|(name, cell)| {
-                let shown = if redact && name.ends_with("_ns") {
+                let shape = name.ends_with("_ns")
+                    || name.starts_with("alloc/")
+                    || name.starts_with("par/");
+                let shown = if redact && shape {
                     0
                 } else {
                     cell.load(Ordering::Relaxed)
@@ -271,10 +340,16 @@ impl MetricsRegistry {
         );
         drop(gauges);
         out.push_str("},\n");
-        // histograms
+        // histograms — values of `_ns`-named histograms are duration
+        // samples, so their value-derived fields redact; counts stay.
         out.push_str("  \"histograms\": {");
         let histograms = lock(&self.histograms);
-        write_entries(&mut out, histograms.iter(), 4, |out, hist| {
+        write_entries(
+            &mut out,
+            histograms.iter().map(|(name, hist)| (name, (name, hist))),
+            4,
+            |out, (name, hist)| {
+            let duration_valued = redact && name.ends_with("_ns");
             let counts: Vec<u64> = hist
                 .buckets
                 .iter()
@@ -283,18 +358,38 @@ impl MetricsRegistry {
             let (overflow, bucket_counts) = counts
                 .split_last()
                 .map_or((0, &counts[..]), |(o, rest)| (*o, rest));
-            let _ = write!(
-                out,
-                "{{\"bounds\": {}, \"buckets\": {}, \"overflow\": {}, \"count\": {}, \"sum\": {}}}",
-                json_u64_array(&hist.bounds),
-                json_u64_array(bucket_counts),
-                overflow,
-                hist.count.load(Ordering::Relaxed),
-                hist.sum.load(Ordering::Relaxed),
-            );
-        });
+            let zeroed = vec![0u64; bucket_counts.len()];
+            let (shown_buckets, overflow, sum, p50, p90, p99) = if duration_valued {
+                (&zeroed[..], 0, 0, 0, 0, 0)
+            } else {
+                (
+                    bucket_counts,
+                    overflow,
+                    hist.sum.load(Ordering::Relaxed),
+                    hist.quantile(0.50),
+                    hist.quantile(0.90),
+                    hist.quantile(0.99),
+                )
+            };
+                let _ = write!(
+                    out,
+                    "{{\"bounds\": {}, \"buckets\": {}, \"overflow\": {overflow}, \
+                     \"count\": {}, \"sum\": {sum}, \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}}",
+                    json_u64_array(&hist.bounds),
+                    json_u64_array(shown_buckets),
+                    hist.count.load(Ordering::Relaxed),
+                );
+            },
+        );
         drop(histograms);
         out.push_str("},\n");
+        // manifest — run provenance, when the host attached one.
+        out.push_str("  \"manifest\": ");
+        match lock(&self.manifest).as_ref() {
+            Some(manifest) => out.push_str(&manifest.render(redact, false, 2)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n");
         // timing (spans + latency histograms) — the duration-bearing part.
         out.push_str("  \"timing\": {\n    \"latency_bounds_ns\": ");
         out.push_str(&json_u64_array(&LATENCY_BOUNDS_NS));
@@ -307,20 +402,77 @@ impl MetricsRegistry {
         });
         out.push_str("},\n    \"spans\": {");
         write_entries(&mut out, spans.stats.iter(), 6, |out, stat| {
-            let (total, min, max) = if redact {
-                (0, 0, 0)
+            let (total, min, max, child, own) = if redact {
+                (0, 0, 0, 0, 0)
             } else {
-                (stat.total_ns, stat.min_ns, stat.max_ns)
+                (
+                    stat.total_ns,
+                    stat.min_ns,
+                    stat.max_ns,
+                    stat.child_ns,
+                    stat.self_ns(),
+                )
             };
             let _ = write!(
                 out,
-                "{{\"calls\": {}, \"max_ns\": {max}, \"min_ns\": {min}, \"total_ns\": {total}}}",
+                "{{\"calls\": {}, \"child_ns\": {child}, \"max_ns\": {max}, \
+                 \"min_ns\": {min}, \"self_ns\": {own}, \"total_ns\": {total}}}",
                 stat.calls,
             );
         });
         drop(spans);
-        out.push_str("}\n  }\n}\n");
+        out.push_str("}\n  },\n");
+        // trace — the bounded deterministic event log.
+        let trace = lock(&self.trace);
+        let _ = write!(
+            out,
+            "  \"trace\": {{\n    \"capacity\": {},\n    \"dropped\": {},\n    \"events\": [",
+            trace.capacity(),
+            trace.dropped(),
+        );
+        let events = trace.events();
+        drop(trace);
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (seq, t_ns, dur_ns) = if redact { (0, 0, 0) } else { (e.seq, e.t_ns, e.dur_ns) };
+            let _ = write!(
+                out,
+                "\n      {{\"dur_ns\": {dur_ns}, \"path\": \"{}\", \"phase\": \"{}\", \
+                 \"seq\": {seq}, \"t_ns\": {t_ns}}}",
+                escape_json(&e.path),
+                e.phase.code(),
+            );
+        }
+        if events.is_empty() {
+            out.push_str("]\n  }\n}\n");
+        } else {
+            out.push_str("\n    ]\n  }\n}\n");
+        }
         out
+    }
+
+    /// Exports the trace ring buffer as a Chrome `trace_event` JSON
+    /// document (see [`crate::trace::render_chrome_trace`]).
+    #[must_use]
+    pub fn to_chrome_trace(&self, redact: bool) -> String {
+        crate::trace::render_chrome_trace(&self.trace_events(), redact)
+    }
+
+    /// Exports span aggregates as collapsed stacks for flamegraph
+    /// tooling (see [`crate::trace::render_collapsed`]).
+    #[must_use]
+    pub fn to_collapsed_stacks(&self, redact: bool) -> String {
+        let spans = lock(&self.spans);
+        let order = spans.order.clone();
+        let stats: Vec<(String, SpanStat)> = spans
+            .stats
+            .iter()
+            .map(|(path, stat)| (path.clone(), *stat))
+            .collect();
+        drop(spans);
+        crate::trace::render_collapsed(&order, &stats, redact)
     }
 
     /// Renders the span tree as human-readable text, one line per path
@@ -388,7 +540,7 @@ fn json_u64_array(values: &[u64]) -> String {
 }
 
 /// Escapes a metric name for use as a JSON string.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -539,5 +691,171 @@ mod tests {
         r.counter("we\"ird\\name").incr();
         let json = r.to_json();
         assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn child_time_accrues_to_the_parent_span() {
+        let r = MetricsRegistry::new();
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+            }
+            {
+                let _inner = r.span("inner");
+            }
+        }
+        let outer = r.span_stat("outer").unwrap();
+        let inner = r.span_stat("outer/inner").unwrap();
+        // The parent's child time is exactly the children's total time.
+        assert_eq!(outer.child_ns, inner.total_ns);
+        assert_eq!(outer.self_ns(), outer.total_ns - outer.child_ns);
+        assert_eq!(inner.child_ns, 0, "leaf spans have no child time");
+        assert_eq!(inner.self_ns(), inner.total_ns);
+    }
+
+    #[test]
+    fn trace_events_pair_begin_and_end_in_sequence_order() {
+        let r = MetricsRegistry::new();
+        {
+            let _a = r.span("load");
+            let _b = r.span("parse");
+        }
+        let events = r.trace_events();
+        let shape: Vec<(u64, &str, String)> = events
+            .iter()
+            .map(|e| (e.seq, e.phase.code(), e.path.clone()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (1, "B", "load".to_string()),
+                (2, "B", "load/parse".to_string()),
+                (3, "E", "load/parse".to_string()),
+                (4, "E", "load".to_string()),
+            ]
+        );
+        assert_eq!(r.trace_dropped(), 0);
+        // End events carry the span duration; begins do not.
+        assert_eq!(events[0].dur_ns, 0);
+        assert!(events[3].t_ns >= events[0].t_ns);
+    }
+
+    #[test]
+    fn document_carries_trace_and_manifest_sections() {
+        let r = MetricsRegistry::new();
+        {
+            let _s = r.span("stage");
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"trace\": {"));
+        assert!(json.contains("\"phase\": \"B\""));
+        assert!(json.contains("\"manifest\": null"));
+        r.set_manifest(RunManifest {
+            subcommand: "fit".into(),
+            outcome: "ok".into(),
+            ..RunManifest::default()
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"subcommand\": \"fit\""));
+        assert_eq!(r.manifest().unwrap().subcommand, "fit");
+    }
+
+    #[test]
+    fn redacted_document_is_identical_across_runs_with_trace() {
+        let run = || {
+            let r = MetricsRegistry::new();
+            {
+                let _a = r.span("load");
+                let _b = r.span("parse");
+            }
+            r.set_manifest(RunManifest {
+                subcommand: "summary".into(),
+                threads: 3,
+                outcome: "ok".into(),
+                ..RunManifest::default()
+            });
+            r
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_json_redacted(), b.to_json_redacted());
+        let redacted = a.to_json_redacted();
+        assert!(redacted.contains("\"seq\": 0"));
+        assert!(redacted.contains("\"t_ns\": 0"));
+        assert!(redacted.contains("\"threads\": 0"));
+        assert!(redacted.contains("\"child_ns\": 0"));
+        assert!(redacted.contains("\"self_ns\": 0"));
+    }
+
+    #[test]
+    fn redaction_zeroes_alloc_and_par_gauges() {
+        let r = MetricsRegistry::new();
+        r.gauge("alloc/load/peak_bytes").set(4096);
+        r.gauge("par/trips/threads").set(8);
+        r.gauge("odmatrix/cells").set(400);
+        let redacted = r.to_json_redacted();
+        assert!(redacted.contains("\"alloc/load/peak_bytes\": 0"));
+        assert!(redacted.contains("\"par/trips/threads\": 0"));
+        assert!(redacted.contains("\"odmatrix/cells\": 400"));
+    }
+
+    #[test]
+    fn duration_valued_histograms_redact_values_keep_counts() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("io/write_ns", &[1_000, 1_000_000]);
+        h.record(500);
+        h.record(2_000_000);
+        let full = r.to_json();
+        assert!(full.contains("\"sum\": 2000500"));
+        let redacted = r.to_json_redacted();
+        assert!(redacted.contains("\"count\": 2"), "counts are deterministic");
+        assert!(redacted.contains("\"sum\": 0"));
+        assert!(redacted.contains("\"p99\": 0"));
+    }
+
+    #[test]
+    fn histogram_json_carries_interpolated_quantiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("tweets_per_user", &[10, 20]);
+        for v in [2, 4, 6, 8, 12, 14, 16, 18] {
+            h.record(v);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"p50\": 10"), "boundary-pinned p50: {json}");
+        assert!(json.contains("\"p90\": 18"));
+        assert!(json.contains("\"p99\": 20"));
+    }
+
+    #[test]
+    fn chrome_trace_and_collapsed_exports_come_from_the_registry() {
+        let r = MetricsRegistry::new();
+        {
+            let _a = r.span("fit");
+            let _b = r.span("gravity4");
+        }
+        let chrome = r.to_chrome_trace(false);
+        assert!(chrome.contains("\"name\": \"fit/gravity4\""));
+        let folded = r.to_collapsed_stacks(false);
+        assert!(folded.contains("fit;gravity4 "));
+        // Redacted exports are stable across identical runs.
+        let again = MetricsRegistry::new();
+        {
+            let _a = again.span("fit");
+            let _b = again.span("gravity4");
+        }
+        assert_eq!(r.to_chrome_trace(true), again.to_chrome_trace(true));
+        assert_eq!(r.to_collapsed_stacks(true), again.to_collapsed_stacks(true));
+    }
+
+    #[test]
+    fn trace_capacity_bounds_the_registry_buffer() {
+        let r = MetricsRegistry::new();
+        r.set_trace_capacity(2);
+        for _ in 0..3 {
+            let _s = r.span("s");
+        }
+        assert_eq!(r.trace_events().len(), 2);
+        assert_eq!(r.trace_dropped(), 4, "3 begins + 3 ends, 2 kept");
     }
 }

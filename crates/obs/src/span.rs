@@ -5,19 +5,29 @@
 //! dropping the returned guard. Nesting is tracked per thread: a span
 //! opened while another is live gets the parent's path as a prefix, so
 //! `span("mobility")` containing `span("fit/gravity4")` records
-//! `mobility/fit/gravity4`. Timing uses `std::time::Instant` — the only
-//! place in the workspace allowed to touch a clock (see the
-//! `tweetmob-lint` determinism rule) — and durations never feed any
-//! result-bearing field.
+//! `mobility/fit/gravity4`. Each frame also accumulates the time its
+//! *children* spent, so a closed span knows both total and self time
+//! (total minus child) — the weight the flamegraph export uses. Timing
+//! uses `std::time::Instant` — the only place in the workspace allowed
+//! to touch a clock (see the `tweetmob-lint` determinism rule) — and
+//! durations never feed any result-bearing field.
 
 use crate::registry::MetricsRegistry;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+/// One live span on this thread's stack.
+struct Frame {
+    /// The full nesting-prefixed path.
+    path: String,
+    /// Nanoseconds spent in already-closed direct children.
+    child_ns: u64,
+}
+
 thread_local! {
-    /// The stack of full span paths live on this thread, innermost last.
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// The stack of spans live on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Aggregated timing of one span path.
@@ -32,10 +42,19 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Slowest single call, nanoseconds.
     pub max_ns: u64,
+    /// Nanoseconds spent inside direct child spans, across all calls.
+    /// `total_ns - child_ns` is the span's *self time*.
+    pub child_ns: u64,
 }
 
 impl SpanStat {
-    fn observe(&mut self, elapsed_ns: u64) {
+    /// The span's self time: total minus time attributed to children.
+    #[must_use]
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    fn observe(&mut self, elapsed_ns: u64, child_ns: u64) {
         if self.calls == 0 {
             self.min_ns = elapsed_ns;
             self.max_ns = elapsed_ns;
@@ -45,6 +64,7 @@ impl SpanStat {
         }
         self.calls += 1;
         self.total_ns = self.total_ns.saturating_add(elapsed_ns);
+        self.child_ns = self.child_ns.saturating_add(child_ns);
     }
 }
 
@@ -82,11 +102,11 @@ impl SpanStore {
         }
     }
 
-    pub(crate) fn record(&mut self, path: &str, elapsed_ns: u64) {
+    pub(crate) fn record(&mut self, path: &str, elapsed_ns: u64, child_ns: u64) {
         self.stats
             .entry(path.to_string())
             .or_default()
-            .observe(elapsed_ns);
+            .observe(elapsed_ns, child_ns);
         let buckets = self
             .latency
             .entry(path.to_string())
@@ -101,19 +121,29 @@ pub(crate) fn push_scope(name: &str) -> String {
     SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         let path = match stack.last() {
-            Some(parent) => format!("{parent}/{name}"),
+            Some(parent) => format!("{}/{name}", parent.path),
             None => name.to_string(),
         };
-        stack.push(path.clone());
+        stack.push(Frame {
+            path: path.clone(),
+            child_ns: 0,
+        });
         path
     })
 }
 
-/// Pops the innermost scope (guard drop).
-pub(crate) fn pop_scope() {
+/// Pops the innermost scope (guard drop), credits its elapsed time to
+/// the parent frame still on the stack, and returns how long the popped
+/// span's own children ran.
+pub(crate) fn pop_scope(elapsed_ns: u64) -> u64 {
     SPAN_STACK.with(|stack| {
-        stack.borrow_mut().pop();
-    });
+        let mut stack = stack.borrow_mut();
+        let child_ns = stack.pop().map_or(0, |frame| frame.child_ns);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+        }
+        child_ns
+    })
 }
 
 /// RAII guard for one live span. Dropping it records the elapsed time
@@ -125,6 +155,10 @@ pub struct SpanGuard<'a> {
     /// `None` for the no-op guard handed out while the registry is
     /// disabled — no clock is read and nothing is recorded.
     pub(crate) active: Option<(&'a MetricsRegistry, String, Instant)>,
+    /// Allocation counts at span open, for the per-span allocator
+    /// gauges. `None` when no counting allocator is installed.
+    #[cfg(feature = "alloc")]
+    pub(crate) alloc_at_open: Option<tweetmob_alloc::AllocSnapshot>,
 }
 
 impl SpanGuard<'_> {
@@ -141,8 +175,18 @@ impl Drop for SpanGuard<'_> {
             let elapsed = start.elapsed().as_nanos();
             // u128→u64 ns saturates after ~584 years of elapsed time.
             let elapsed_ns = u64::try_from(elapsed).unwrap_or(u64::MAX);
-            pop_scope();
-            registry.record_span(&path, elapsed_ns);
+            let child_ns = pop_scope(elapsed_ns);
+            registry.record_span(&path, elapsed_ns, child_ns);
+            #[cfg(feature = "alloc")]
+            if let Some(open) = self.alloc_at_open.take() {
+                let now = tweetmob_alloc::snapshot();
+                registry
+                    .gauge(&format!("alloc/{path}/allocations"))
+                    .set(i64::try_from(now.allocations.saturating_sub(open.allocations)).unwrap_or(i64::MAX));
+                registry
+                    .gauge(&format!("alloc/{path}/peak_bytes"))
+                    .set(i64::try_from(now.peak_bytes).unwrap_or(i64::MAX));
+            }
         }
     }
 }

@@ -1,0 +1,295 @@
+//! Deterministic trace events: a bounded, sequence-ordered ring buffer
+//! of span begin/end events plus the exporters built over it.
+//!
+//! Unlike the aggregated [`crate::SpanStat`] timings, trace events
+//! preserve *order*: every span open and close appends one event
+//! carrying a monotonically increasing sequence number. Ordering is by
+//! sequence, never by wall clock — for a deterministic pipeline the
+//! event stream (paths, phases, sequence) is identical run to run and
+//! across thread counts; only the `t_ns`/`dur_ns` duration fields vary,
+//! and the redacted exports zero exactly those (plus the sequence
+//! numbers, so a redacted document carries no covert channel for
+//! execution shape).
+//!
+//! Two export formats:
+//!
+//! * **Chrome trace** ([`render_chrome_trace`]) — the `trace_event`
+//!   JSON consumed by `chrome://tracing` / Perfetto: one complete
+//!   (`"ph": "X"`) event per span close.
+//! * **Collapsed stacks** ([`render_collapsed`]) — the
+//!   `frame;frame;frame weight` lines consumed by flamegraph tooling,
+//!   weighted by span *self time* (time not attributed to a child
+//!   span); the redacted variant weights by call count instead.
+//!
+//! The buffer is bounded (default [`DEFAULT_TRACE_CAPACITY`] events):
+//! when full, the oldest events are dropped and counted, so a
+//! pathological span storm can never exhaust memory.
+
+use crate::span::SpanStat;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default ring-buffer capacity, in events. Pipeline runs produce a few
+/// hundred events; the headroom is for future per-window streaming
+/// stages.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Which side of a span an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// The span opened.
+    Begin,
+    /// The span closed; the event carries the span's duration.
+    End,
+}
+
+impl TracePhase {
+    /// The single-letter phase code used in exports ("B" / "E").
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+        }
+    }
+}
+
+/// One recorded span transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the global event order, starting at 1. Deterministic
+    /// for a deterministic pipeline; zeroed by redacted exports.
+    pub seq: u64,
+    /// Open or close.
+    pub phase: TracePhase,
+    /// Full nesting-prefixed span path.
+    pub path: String,
+    /// Nanoseconds since the registry first recorded an event
+    /// (duration data — varies run to run).
+    pub t_ns: u64,
+    /// Span duration for [`TracePhase::End`] events, zero for begins.
+    pub dur_ns: u64,
+}
+
+/// The bounded event buffer attached to a registry's span store.
+#[derive(Debug)]
+pub(crate) struct TraceBuffer {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            next_seq: 1,
+            dropped: 0,
+            events: VecDeque::new(),
+        }
+    }
+}
+
+impl TraceBuffer {
+    pub(crate) fn record(&mut self, phase: TracePhase, path: &str, t_ns: u64, dur_ns: u64) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            self.next_seq += 1;
+            return;
+        }
+        while self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            seq: self.next_seq,
+            phase,
+            path: path.to_string(),
+            t_ns,
+            dur_ns,
+        });
+        self.next_seq += 1;
+    }
+
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.events.len() > capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().cloned().collect()
+    }
+}
+
+/// Renders events as a Chrome `trace_event` document (the format
+/// `chrome://tracing` and Perfetto load): one complete (`"ph": "X"`)
+/// event per span close, timestamps in microseconds. Under `redact`,
+/// `ts` becomes the event's sequence number and `dur` zero, so two
+/// same-seed runs render byte-identically while the viewer still shows
+/// the true ordering.
+#[must_use]
+pub fn render_chrome_trace(events: &[TraceEvent], redact: bool) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for e in events {
+        if e.phase != TracePhase::End {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let (ts_us, dur_us) = if redact {
+            (e.seq, 0)
+        } else {
+            (e.t_ns.saturating_sub(e.dur_ns) / 1_000, e.dur_ns / 1_000)
+        };
+        let _ = write!(
+            out,
+            "\n  {{\"args\": {{\"seq\": {}}}, \"cat\": \"span\", \"dur\": {dur_us}, \
+             \"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": {ts_us}}}",
+            if redact { 0 } else { e.seq },
+            crate::registry::escape_json(&e.path),
+        );
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Renders span aggregates as collapsed stacks (`a;b;c weight`, one
+/// line per path in first-start order) for flamegraph tooling. The
+/// weight is the span's *self time* in nanoseconds — total minus the
+/// time attributed to child spans — or, under `redact`, its call count
+/// (deterministic, so redacted flamegraphs compare byte-for-byte).
+#[must_use]
+pub fn render_collapsed(order: &[String], stats: &[(String, SpanStat)], redact: bool) -> String {
+    let mut out = String::new();
+    for path in order {
+        let Some((_, stat)) = stats.iter().find(|(p, _)| p == path) else {
+            continue;
+        };
+        let weight = if redact {
+            stat.calls
+        } else {
+            stat.total_ns.saturating_sub(stat.child_ns)
+        };
+        let frames = path.replace('/', ";");
+        let _ = writeln!(out, "{frames} {weight}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, phase: TracePhase, path: &str, t_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            phase,
+            path: path.to_string(),
+            t_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let mut buf = TraceBuffer::default();
+        buf.set_capacity(3);
+        for i in 0..5 {
+            buf.record(TracePhase::Begin, &format!("s{i}"), i, 0);
+        }
+        assert_eq!(buf.dropped(), 2);
+        let events = buf.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].path, "s2");
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[2].seq, 5);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_front() {
+        let mut buf = TraceBuffer::default();
+        for i in 0..4 {
+            buf.record(TracePhase::Begin, "s", i, 0);
+        }
+        buf.set_capacity(2);
+        assert_eq!(buf.events().len(), 2);
+        assert_eq!(buf.dropped(), 2);
+        buf.set_capacity(0);
+        assert!(buf.events().is_empty());
+        buf.record(TracePhase::Begin, "s", 9, 0);
+        assert!(buf.events().is_empty());
+        assert_eq!(buf.dropped(), 5);
+    }
+
+    #[test]
+    fn chrome_trace_exports_complete_events() {
+        let events = vec![
+            event(1, TracePhase::Begin, "load", 0, 0),
+            event(2, TracePhase::End, "load", 5_000, 5_000),
+        ];
+        let json = render_chrome_trace(&events, false);
+        assert!(json.contains("\"name\": \"load\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 5"));
+        assert!(json.contains("\"ts\": 0"));
+        // Begins are folded into the complete event, not exported.
+        assert_eq!(json.matches("\"name\"").count(), 1);
+    }
+
+    #[test]
+    fn redacted_chrome_trace_is_duration_free_and_stable() {
+        let a = vec![event(2, TracePhase::End, "fit", 7_000, 6_000)];
+        let b = vec![event(2, TracePhase::End, "fit", 9_999, 8_888)];
+        let ra = render_chrome_trace(&a, true);
+        assert_eq!(ra, render_chrome_trace(&b, true));
+        assert!(ra.contains("\"ts\": 2"), "redacted ts is the sequence");
+        assert!(ra.contains("\"dur\": 0"));
+        assert!(ra.contains("\"seq\": 0"));
+    }
+
+    #[test]
+    fn collapsed_weights_by_self_time_or_calls() {
+        let order = vec!["a".to_string(), "a/b".to_string()];
+        let stats = vec![
+            (
+                "a".to_string(),
+                SpanStat {
+                    calls: 1,
+                    total_ns: 100,
+                    min_ns: 100,
+                    max_ns: 100,
+                    child_ns: 60,
+                },
+            ),
+            (
+                "a/b".to_string(),
+                SpanStat {
+                    calls: 2,
+                    total_ns: 60,
+                    min_ns: 20,
+                    max_ns: 40,
+                    child_ns: 0,
+                },
+            ),
+        ];
+        let full = render_collapsed(&order, &stats, false);
+        assert_eq!(full, "a 40\na;b 60\n");
+        let redacted = render_collapsed(&order, &stats, true);
+        assert_eq!(redacted, "a 1\na;b 2\n");
+    }
+}

@@ -9,11 +9,13 @@ fn empty_registry_serializes_to_a_valid_document() {
     let registry = MetricsRegistry::new();
     let json = registry.to_json();
     let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    for section in ["counters", "gauges", "histograms", "timing"] {
+    for section in ["counters", "gauges", "histograms", "manifest", "timing", "trace"] {
         assert!(doc.get(section).is_some(), "missing section {section}");
     }
     assert_eq!(doc["counters"], serde_json::json!({}));
     assert_eq!(doc["timing"]["spans"], serde_json::json!({}));
+    assert_eq!(doc["manifest"], serde_json::json!(null));
+    assert_eq!(doc["trace"]["events"], serde_json::json!([]));
     // An empty registry is trivially run-stable.
     assert_eq!(json, MetricsRegistry::new().to_json());
 }
