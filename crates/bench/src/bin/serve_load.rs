@@ -1,0 +1,82 @@
+//! Load-generates against an in-process `tweetmob-serve` server and
+//! writes the committed `BENCH_serve.json`: p50/p99 request latency and
+//! sustained req/s at 1, 2, 4 and 8 concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p tweetmob-bench --bin serve_load
+//! ```
+//!
+//! The server is fitted from the standard synthetic dataset
+//! (`TWEETMOB_USERS` / `TWEETMOB_SEED` honoured) and runs a four-worker
+//! pool; the driven endpoint is a pairwise `/predict` — the hot query
+//! of the serving layer. `TWEETMOB_SERVE_REQUESTS` overrides the
+//! per-client request count (default 2000; CI smoke passes a small
+//! value and discards the file).
+
+use std::sync::Arc;
+use tweetmob_bench::{standard_dataset, BENCH_SERVE_PATH};
+use tweetmob_core::{Experiment, Scale};
+use tweetmob_serve::{run_load, serve, AppState};
+
+/// Worker threads the benched server runs.
+const SERVER_WORKERS: usize = 4;
+
+/// Client-concurrency ladder.
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let per_client: usize = std::env::var("TWEETMOB_SERVE_REQUESTS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2000);
+
+    let (cfg, ds) = standard_dataset();
+    eprintln!(
+        "serve_load: fitting national models over {} users (seed {})",
+        cfg.n_users, cfg.seed
+    );
+    let exp = Experiment::new(&ds);
+    let (_report, bundle) = exp.fit(Scale::National).expect("fit national models");
+    let state = AppState::new(Arc::new(bundle));
+    let handle = serve("127.0.0.1:0", state, SERVER_WORKERS).expect("bind bench server");
+    let addr = handle.addr();
+    let target = "/predict?model=gravity2&origin=Sydney&dest=Melbourne";
+
+    let mut loads = Vec::new();
+    for &clients in &CLIENTS {
+        let report =
+            run_load(&addr, target, clients, per_client).expect("connect to bench server");
+        eprintln!(
+            "serve_load: {clients} client(s): p50 {} µs, p99 {} µs, {:.0} req/s ({} ok, {} errors)",
+            report.p50_ns / 1_000,
+            report.p99_ns / 1_000,
+            report.requests_per_sec,
+            report.ok,
+            report.errors
+        );
+        assert_eq!(report.errors, 0, "bench requests must all succeed");
+        loads.push(serde_json::json!({
+            "clients": report.clients,
+            "requests": report.ok,
+            "p50_ns": report.p50_ns,
+            "p99_ns": report.p99_ns,
+            "requests_per_sec": report.requests_per_sec,
+        }));
+    }
+    handle.stop();
+
+    let doc = serde_json::json!({
+        "schema_version": 1,
+        "bin": "serve_load",
+        "n_users": cfg.n_users,
+        "seed": cfg.seed,
+        "server_workers": SERVER_WORKERS,
+        "requests_per_client": per_client,
+        "endpoint": target,
+        "loads": loads,
+    });
+    let mut text = serde_json::to_string_pretty(&doc).expect("serialize bench doc");
+    text.push('\n');
+    std::fs::write(BENCH_SERVE_PATH, text).expect("write BENCH_serve.json");
+    println!("wrote {BENCH_SERVE_PATH}");
+}

@@ -39,6 +39,11 @@ pub const BENCH_METRICS_PATH: &str = "BENCH_pipeline.json";
 /// search at several thread counts, plus byte-equality verdicts.
 pub const BENCH_KERNELS_PATH: &str = "BENCH_kernels.json";
 
+/// The serving-latency document `serve_load` writes: p50/p99 request
+/// latency and sustained req/s against an in-process `tweetmob-serve`
+/// server at 1–8 concurrent clients.
+pub const BENCH_SERVE_PATH: &str = "BENCH_serve.json";
+
 /// Builds the standard experiment dataset, honouring the
 /// `TWEETMOB_USERS` / `TWEETMOB_SEED` environment knobs.
 pub fn standard_dataset() -> (GeneratorConfig, TweetDataset) {

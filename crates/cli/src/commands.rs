@@ -389,28 +389,24 @@ pub fn predict(args: &Args) -> Result<()> {
     let kinds: Vec<ModelKind> = if model_flag.eq_ignore_ascii_case("all") {
         ModelKind::ALL.to_vec()
     } else {
-        vec![ModelKind::parse(model_flag).ok_or_else(|| {
-            format!("unknown model {model_flag:?} (gravity4|gravity2|radiation|opportunities|all)")
-        })?]
+        // `resolve_model`'s QueryError names the valid spellings; the
+        // CLI adds the `all` alias it layers on top.
+        vec![ModelBundle::resolve_model(model_flag).map_err(|e| format!("{e}, or all"))?]
     };
     let origin_name = args.get("origin").ok_or("missing --origin AREA")?;
-    let origin = bundle
-        .area_index(origin_name)
-        .ok_or_else(|| format!("unknown area {origin_name:?}"))?;
+    let origin = bundle.resolve_area(origin_name)?;
     let origin_name = bundle.areas()[origin].name.clone();
 
     if let Some(dest_name) = args.get("dest") {
-        let dest = bundle
-            .area_index(dest_name)
-            .ok_or_else(|| format!("unknown area {dest_name:?}"))?;
+        let dest = bundle.resolve_area(dest_name)?;
         if dest == origin {
             return Err("--origin and --dest name the same area".into());
         }
         let dest_name = bundle.areas()[dest].name.clone();
         let predictions: Vec<(ModelKind, f64)> = kinds
             .iter()
-            .map(|&k| (k, bundle.predict(k, origin, dest)))
-            .collect();
+            .map(|&k| Ok((k, bundle.predict(k, origin, dest)?)))
+            .collect::<std::result::Result<_, tweetmob_data::QueryError>>()?;
         if args.has("json") {
             let map: serde_json::Map<String, serde_json::Value> = predictions
                 .iter()
@@ -439,7 +435,7 @@ pub fn predict(args: &Args) -> Result<()> {
                 .iter()
                 .map(|&kind| {
                     let ranked: Vec<serde_json::Value> = bundle
-                        .top_k(kind, origin, k)
+                        .top_k(kind, origin, k)?
                         .into_iter()
                         .map(|(dest, flow)| {
                             serde_json::json!({
@@ -448,9 +444,9 @@ pub fn predict(args: &Args) -> Result<()> {
                             })
                         })
                         .collect();
-                    (kind.key().to_string(), serde_json::json!(ranked))
+                    Ok((kind.key().to_string(), serde_json::json!(ranked)))
                 })
-                .collect();
+                .collect::<std::result::Result<_, tweetmob_data::QueryError>>()?;
             let doc = serde_json::json!({
                 "origin": origin_name,
                 "k": k,
@@ -460,7 +456,7 @@ pub fn predict(args: &Args) -> Result<()> {
         } else {
             for &kind in &kinds {
                 println!("top {k} destinations from {origin_name} ({}):", kind.key());
-                for (dest, flow) in bundle.top_k(kind, origin, k) {
+                for (dest, flow) in bundle.top_k(kind, origin, k)? {
                     println!("  {:<16} {flow:.3}", bundle.areas()[dest].name);
                 }
             }
@@ -546,5 +542,33 @@ pub fn epidemic(args: &Args) -> Result<()> {
             timeline.final_size(p)
         );
     }
+    Ok(())
+}
+
+/// `tweetmob serve --artifact-in PATH [--bind ADDR]` — load a fitted
+/// artifact once and answer flow queries over HTTP until killed. The
+/// worker-pool size follows `--threads` / `TWEETMOB_THREADS` like every
+/// other command; the resolved listen address is printed (and stdout
+/// flushed) before serving starts, so a supervisor binding port `0` can
+/// read where the kernel put us.
+pub fn serve(args: &Args) -> Result<()> {
+    let path = args.get("artifact-in").ok_or("missing --artifact-in PATH")?;
+    let _span = tweetmob_obs::span!("artifact_in");
+    tweetmob_obs::manifest::record_input(path);
+    let bundle = ModelBundle::load_file(path)?;
+    drop(_span);
+    let bind = args.get("bind").unwrap_or("127.0.0.1:8787");
+    let workers = tweetmob_par::resolved_threads();
+    let areas = bundle.len();
+    let state = tweetmob_serve::AppState::new(std::sync::Arc::new(bundle));
+    let handle = tweetmob_serve::serve(bind, state, workers)?;
+    println!(
+        "listening on {} ({areas} areas, {} worker threads)",
+        handle.addr(),
+        handle.workers()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    handle.join();
     Ok(())
 }

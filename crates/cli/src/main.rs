@@ -11,6 +11,7 @@
 //! tweetmob provenance models.tma
 //! tweetmob predict --artifact-in models.tma --origin Sydney --top 5
 //! tweetmob epidemic --artifact-in models.tma --beta 0.5 --gamma 0.2
+//! tweetmob serve --artifact-in models.tma --bind 127.0.0.1:8787
 //! ```
 //!
 //! Datasets are JSONL (default), CSV, or the compact binary `.twb`
@@ -66,6 +67,12 @@ COMMANDS:
         --days N                 horizon in days               [default 365]
         --restrict DAY:FACTOR    travel restriction, e.g. 30:0.1
         --immune F               initial immune fraction       [default 0]
+    serve                        HTTP API over a fitted artifact
+        --artifact-in PATH       load a saved artifact         [required]
+        --bind ADDR              listen address                [default 127.0.0.1:8787]
+                             worker pool sized by --threads; endpoints:
+                             /healthz /population /predict /top_k
+                             /epidemic /provenance /metrics
     export <dataset> <out.json>  machine-readable results of all experiments
     provenance <artifact.tma>    print an artifact's embedded run manifest
                              and verify its recorded input hashes
@@ -148,6 +155,7 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             ],
             &[],
         ),
+        "serve" => (commands::serve, &["artifact-in", "bind"], &[]),
         "export" => (commands::export, &[], &[]),
         "provenance" => (commands::provenance, &[], &[]),
         "help" | "--help" | "-h" => {

@@ -685,3 +685,140 @@ fn bad_flag_values_report_the_flag() {
     assert!(stderr(&out).contains("Atlantis"));
     std::fs::remove_file(&path).ok();
 }
+
+/// Kills the serve child on drop so a failed assertion can't leak it.
+struct ServeChild(std::process::Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn http_get(addr: &str, target: &str) -> (u16, String) {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to serve child");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8"))
+}
+
+#[test]
+fn serve_answers_http_queries_in_parity_with_predict_json() {
+    use std::io::BufRead;
+
+    let data = tmp("serve.twb");
+    let artifact = tmp("serve.tma");
+    assert!(run(&["generate", data.to_str().unwrap(), "--users", "1500", "--seed", "13"])
+        .status
+        .success());
+    let out = run(&[
+        "fit",
+        data.to_str().unwrap(),
+        "--artifact-out",
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "fit: {}", stderr(&out));
+
+    // Bind port 0 and read the resolved address off the first line.
+    let mut child = ServeChild(
+        bin()
+            .args([
+                "serve",
+                "--artifact-in",
+                artifact.to_str().unwrap(),
+                "--bind",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn serve"),
+    );
+    let mut first_line = String::new();
+    std::io::BufReader::new(child.0.stdout.take().expect("child stdout"))
+        .read_line(&mut first_line)
+        .expect("listening line");
+    assert!(first_line.starts_with("listening on "), "{first_line}");
+    let addr = first_line
+        .split_ascii_whitespace()
+        .nth(2)
+        .expect("address token")
+        .to_string();
+
+    // Golden parity: the HTTP body is byte-identical to what
+    // `tweetmob predict --json` prints for the same query.
+    let out = run(&[
+        "predict",
+        "--artifact-in",
+        artifact.to_str().unwrap(),
+        "--origin",
+        "Sydney",
+        "--dest",
+        "Melbourne",
+        "--json",
+    ]);
+    assert!(out.status.success(), "predict: {}", stderr(&out));
+    let golden = stdout(&out);
+    let (status, body) = http_get(&addr, "/predict?origin=Sydney&dest=Melbourne");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, golden.trim_end());
+
+    // Top-k parity too.
+    let out = run(&[
+        "predict",
+        "--artifact-in",
+        artifact.to_str().unwrap(),
+        "--origin",
+        "Sydney",
+        "--top",
+        "3",
+        "--model",
+        "gravity2",
+        "--json",
+    ]);
+    assert!(out.status.success(), "predict top: {}", stderr(&out));
+    let (status, body) = http_get(&addr, "/top_k?origin=Sydney&k=3&model=gravity2");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, stdout(&out).trim_end());
+
+    // Health, provenance and error paths over the same child.
+    let (status, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+    let (status, body) = http_get(&addr, "/provenance");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"subcommand\""), "{body}");
+    let (status, body) = http_get(&addr, "/predict?origin=Atlantis&dest=Sydney");
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = http_get(&addr, "/predict?origin=Sydney&dest=Sydney");
+    assert_eq!(status, 400, "{body}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&artifact).ok();
+}

@@ -590,13 +590,13 @@ mod tests {
         let loaded = ModelBundle::load(&buf[..]).unwrap();
         assert_eq!(loaded.models(), bundle.models());
         for (i, j) in [(0usize, 1usize), (3, 7), (19, 0)] {
-            let obs = bundle.observation(i, j);
+            let obs = bundle.observation(i, j).unwrap();
             assert_eq!(
-                loaded.predict(ModelKind::Gravity4, i, j).to_bits(),
+                loaded.predict(ModelKind::Gravity4, i, j).unwrap().to_bits(),
                 report.gravity4.predict(&obs).to_bits()
             );
             assert_eq!(
-                loaded.predict(ModelKind::Radiation, i, j).to_bits(),
+                loaded.predict(ModelKind::Radiation, i, j).unwrap().to_bits(),
                 report.radiation.predict(&obs).to_bits()
             );
         }

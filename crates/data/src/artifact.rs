@@ -70,6 +70,84 @@ const TAG_MODL: [u8; 4] = *b"MODL";
 const TAG_GEOM: [u8; 4] = *b"GEOM";
 const TAG_PROV: [u8; 4] = *b"PROV";
 
+/// Typed rejection of a malformed artifact query.
+///
+/// Every variant names the offending input and, for range errors, the
+/// valid range, so callers (CLI messages, HTTP 400 bodies) can echo a
+/// actionable diagnosis without re-deriving bundle state. Queries never
+/// panic on bad input — a serving worker must survive any request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Origin area index is not in `0..len`.
+    OriginOutOfRange {
+        /// The rejected origin index.
+        origin: usize,
+        /// Number of areas in the bundle.
+        len: usize,
+    },
+    /// Destination area index is not in `0..len`.
+    DestOutOfRange {
+        /// The rejected destination index.
+        dest: usize,
+        /// Number of areas in the bundle.
+        len: usize,
+    },
+    /// Origin and destination are the same area — a self-pair has no
+    /// flow observation under any of the fitted models.
+    SelfPair {
+        /// The repeated area index.
+        index: usize,
+    },
+    /// `top_k` was asked for zero destinations.
+    ZeroK,
+    /// The model name does not parse as a [`ModelKind`].
+    UnknownModel {
+        /// The rejected model name.
+        name: String,
+    },
+    /// No area in the bundle has this name (case-insensitive).
+    UnknownArea {
+        /// The rejected area name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let range = |f: &mut std::fmt::Formatter<'_>, len: usize| {
+            if len == 0 {
+                write!(f, "the bundle covers no areas")
+            } else {
+                write!(f, "the bundle covers {len} areas (valid indices 0..={})", len - 1)
+            }
+        };
+        match self {
+            QueryError::OriginOutOfRange { origin, len } => {
+                write!(f, "origin index {origin} is out of range: ")?;
+                range(f, *len)
+            }
+            QueryError::DestOutOfRange { dest, len } => {
+                write!(f, "destination index {dest} is out of range: ")?;
+                range(f, *len)
+            }
+            QueryError::SelfPair { index } => write!(
+                f,
+                "origin and destination are both area {index}: a self-pair has no flow"
+            ),
+            QueryError::ZeroK => write!(f, "k must be at least 1"),
+            QueryError::UnknownModel { name } => write!(
+                f,
+                "unknown model {name:?} (expected gravity4|gravity2|radiation|opportunities)"
+            ),
+            QueryError::UnknownArea { name } => {
+                write!(f, "no area named {name:?} in the bundle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// Experiment provenance stored in a bundle's `META` section.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BundleMeta {
@@ -221,58 +299,110 @@ impl ModelBundle {
             .position(|a| a.name.eq_ignore_ascii_case(name))
     }
 
+    /// Validates an origin–destination pair against the bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::OriginOutOfRange`], [`QueryError::DestOutOfRange`]
+    /// or [`QueryError::SelfPair`].
+    fn check_pair(&self, origin: usize, dest: usize) -> Result<(), QueryError> {
+        if origin >= self.len() {
+            return Err(QueryError::OriginOutOfRange { origin, len: self.len() });
+        }
+        if dest >= self.len() {
+            return Err(QueryError::DestOutOfRange { dest, len: self.len() });
+        }
+        if origin == dest {
+            return Err(QueryError::SelfPair { index: origin });
+        }
+        Ok(())
+    }
+
+    /// Resolves an area name (case-insensitive) to its index.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownArea`] when no area carries the name.
+    pub fn resolve_area(&self, name: &str) -> Result<usize, QueryError> {
+        self.area_index(name)
+            .ok_or_else(|| QueryError::UnknownArea { name: name.to_owned() })
+    }
+
+    /// Parses a model name into a [`ModelKind`] with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownModel`] when the name is not a model key.
+    pub fn resolve_model(name: &str) -> Result<ModelKind, QueryError> {
+        ModelKind::parse(name)
+            .ok_or_else(|| QueryError::UnknownModel { name: name.to_owned() })
+    }
+
     /// The prediction-ready observation for an origin–destination pair:
     /// populations from the bundle, distance from the geometry cache,
     /// intervening population from the derived rankings,
     /// `observed_flow` zero (prediction ignores it).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If an index is out of range, or `origin == dest`.
-    #[must_use]
-    pub fn observation(&self, origin: usize, dest: usize) -> FlowObservation {
-        assert!(
-            origin < self.len() && dest < self.len(),
-            "area index out of range"
-        );
-        assert_ne!(origin, dest, "self-pair has no flow observation");
-        FlowObservation {
+    /// [`QueryError`] when an index is out of range or `origin == dest`.
+    pub fn observation(&self, origin: usize, dest: usize) -> Result<FlowObservation, QueryError> {
+        self.check_pair(origin, dest)?;
+        Ok(FlowObservation {
             origin_population: self.populations[origin],
             dest_population: self.populations[dest],
             distance_km: self.geometry.distance(origin, dest),
             intervening_population: self.intervening.s(origin, dest),
             observed_flow: 0.0,
-        }
+        })
     }
 
     /// Predicted flow of one model for an origin–destination pair.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`ModelBundle::observation`].
-    #[must_use]
-    pub fn predict(&self, kind: ModelKind, origin: usize, dest: usize) -> f64 {
-        self.models.predict(kind, &self.observation(origin, dest))
+    pub fn predict(&self, kind: ModelKind, origin: usize, dest: usize) -> Result<f64, QueryError> {
+        Ok(self.models.predict(kind, &self.observation(origin, dest)?))
     }
 
     /// The `k` destinations with the largest predicted flow from
     /// `origin`, as `(area index, predicted flow)` descending.
     /// Deterministic: ties break toward the smaller area index
     /// (`total_cmp`, no thread-count or load-order sensitivity).
+    /// `k` larger than the number of destinations clamps.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If `origin` is out of range.
-    #[must_use]
-    pub fn top_k(&self, kind: ModelKind, origin: usize, k: usize) -> Vec<(usize, f64)> {
-        assert!(origin < self.len(), "area index out of range");
+    /// [`QueryError::OriginOutOfRange`] or [`QueryError::ZeroK`].
+    pub fn top_k(
+        &self,
+        kind: ModelKind,
+        origin: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, QueryError> {
+        if origin >= self.len() {
+            return Err(QueryError::OriginOutOfRange { origin, len: self.len() });
+        }
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
         let mut scored: Vec<(usize, f64)> = (0..self.len())
             .filter(|&dest| dest != origin)
-            .map(|dest| (dest, self.predict(kind, origin, dest)))
+            .map(|dest| {
+                let obs = FlowObservation {
+                    origin_population: self.populations[origin],
+                    dest_population: self.populations[dest],
+                    distance_km: self.geometry.distance(origin, dest),
+                    intervening_population: self.intervening.s(origin, dest),
+                    observed_flow: 0.0,
+                };
+                (dest, self.models.predict(kind, &obs))
+            })
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
-        scored
+        Ok(scored)
     }
 
     /// Serializes the bundle into the container format.
@@ -772,8 +902,8 @@ mod tests {
                         continue;
                     }
                     assert_eq!(
-                        bundle.predict(kind, i, j).to_bits(),
-                        loaded.predict(kind, i, j).to_bits(),
+                        bundle.predict(kind, i, j).unwrap().to_bits(),
+                        loaded.predict(kind, i, j).unwrap().to_bits(),
                         "{kind} {i}->{j}"
                     );
                 }
@@ -784,20 +914,60 @@ mod tests {
     #[test]
     fn top_k_is_descending_and_deterministic() {
         let bundle = sample_bundle(9, 5);
-        let top = bundle.top_k(ModelKind::Gravity2, 0, 4);
+        let top = bundle.top_k(ModelKind::Gravity2, 0, 4).unwrap();
         assert_eq!(top.len(), 4);
         assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
         assert!(top.iter().all(|&(j, _)| j != 0));
         // k larger than the area count is clamped.
-        assert_eq!(bundle.top_k(ModelKind::Gravity2, 0, 100).len(), 8);
+        assert_eq!(bundle.top_k(ModelKind::Gravity2, 0, 100).unwrap().len(), 8);
         // Deterministic across repeated evaluation.
-        assert_eq!(top, bundle.top_k(ModelKind::Gravity2, 0, 4));
+        assert_eq!(top, bundle.top_k(ModelKind::Gravity2, 0, 4).unwrap());
+    }
+
+    #[test]
+    fn queries_reject_bad_input_with_typed_errors() {
+        let bundle = sample_bundle(5, 17);
+        assert_eq!(
+            bundle.observation(5, 0),
+            Err(QueryError::OriginOutOfRange { origin: 5, len: 5 })
+        );
+        assert_eq!(
+            bundle.observation(0, 9),
+            Err(QueryError::DestOutOfRange { dest: 9, len: 5 })
+        );
+        assert_eq!(
+            bundle.observation(3, 3),
+            Err(QueryError::SelfPair { index: 3 })
+        );
+        assert_eq!(
+            bundle.predict(ModelKind::Gravity4, 0, 7),
+            Err(QueryError::DestOutOfRange { dest: 7, len: 5 })
+        );
+        assert_eq!(
+            bundle.top_k(ModelKind::Gravity2, 11, 3),
+            Err(QueryError::OriginOutOfRange { origin: 11, len: 5 })
+        );
+        assert_eq!(bundle.top_k(ModelKind::Gravity2, 0, 0), Err(QueryError::ZeroK));
+        assert_eq!(
+            bundle.resolve_area("atlantis"),
+            Err(QueryError::UnknownArea { name: "atlantis".into() })
+        );
+        assert_eq!(bundle.resolve_area("AREA 1"), Ok(1));
+        assert_eq!(
+            ModelBundle::resolve_model("newton"),
+            Err(QueryError::UnknownModel { name: "newton".into() })
+        );
+        assert_eq!(ModelBundle::resolve_model("gravity2"), Ok(ModelKind::Gravity2));
+        // The messages carry the valid range — serving handlers echo
+        // them verbatim into 400 bodies.
+        let msg = QueryError::OriginOutOfRange { origin: 5, len: 5 }.to_string();
+        assert!(msg.contains("valid indices 0..=4"), "{msg}");
     }
 
     #[test]
     fn observation_matches_its_parts() {
         let bundle = sample_bundle(6, 29);
-        let obs = bundle.observation(1, 4);
+        let obs = bundle.observation(1, 4).unwrap();
         assert_eq!(
             obs.origin_population.to_bits(),
             bundle.populations()[1].to_bits()
@@ -813,7 +983,7 @@ mod tests {
         assert_eq!(obs.observed_flow, 0.0);
         let direct = bundle.models().gravity4.predict_flow(&obs);
         assert_eq!(
-            bundle.predict(ModelKind::Gravity4, 1, 4).to_bits(),
+            bundle.predict(ModelKind::Gravity4, 1, 4).unwrap().to_bits(),
             direct.to_bits()
         );
     }

@@ -54,7 +54,9 @@ mod summary;
 mod time;
 mod tweet;
 
-pub use artifact::{BundleArea, BundleMeta, ModelBundle, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+pub use artifact::{
+    BundleArea, BundleMeta, ModelBundle, QueryError, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};
 pub use dataset::{TweetDataset, UserTweets};
 pub use summary::{ActivityBuckets, DatasetSummary};
 pub use time::{Timestamp, SECS_PER_DAY, SECS_PER_HOUR};

@@ -316,7 +316,7 @@ fn textual_checks(
         check_lossy_cast(label, code, in_test, out);
     }
     if crate_name != "tweetmob-par" {
-        check_par_layer(label, code, in_test, out);
+        check_par_layer(label, crate_name, code, in_test, out);
     }
     if kind.is_library() && GEOMETRY_CACHE_CRATES.contains(&crate_name) {
         check_raw_haversine(label, code, in_test, out);
@@ -1442,19 +1442,37 @@ fn has_float_literal(fragment: &str) -> bool {
 // Rule 6: parallel execution stays on the shared pool.
 // ---------------------------------------------------------------------------
 
+/// Raw-thread tokens sanctioned per crate, narrower than a blanket
+/// exemption. `tweetmob-serve` may `thread::spawn` — its accept/worker
+/// pool is I/O concurrency over an immutable `Arc<ModelBundle>` (no
+/// chunk order to keep deterministic, no compute to route through the
+/// shared pool) — but `thread::scope` and `crossbeam` there still flag:
+/// scoped borrows are the shape of data-parallel compute, which belongs
+/// in `tweetmob-par`.
+const PAR_SANCTIONED: &[(&str, &[&str])] = &[("tweetmob-serve", &["thread::spawn"])];
+
 /// Rejects raw thread spawns outside `tweetmob-par`. The shared pool is
 /// where thread-count resolution (`TWEETMOB_THREADS`, overrides), the
 /// `par/<stage>/*` gauges and the chunk-order determinism contract live;
 /// a bespoke `thread::scope` elsewhere silently opts out of all three.
-/// Test code may spawn freely (e.g. to probe concurrency itself).
+/// Test code may spawn freely (e.g. to probe concurrency itself), and
+/// [`PAR_SANCTIONED`] grants named crates specific tokens.
 fn check_par_layer(
     label: &str,
+    crate_name: &str,
     code: &str,
     in_test: &dyn Fn(usize) -> bool,
     out: &mut Vec<Diagnostic>,
 ) {
     const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "crossbeam"];
+    let sanctioned: &[&str] = PAR_SANCTIONED
+        .iter()
+        .find(|(name, _)| *name == crate_name)
+        .map_or(&[], |(_, tokens)| tokens);
     for &tok in TOKENS {
+        if sanctioned.contains(&tok) {
+            continue;
+        }
         for off in find_token(code, tok) {
             if in_test(off) {
                 continue;
@@ -1805,6 +1823,24 @@ mod tests {
         let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
                        std::thread::spawn(|| {}).join().unwrap();\n    }\n}\n";
         assert!(lint_source("m.rs", "tweetmob-core", FileKind::Library, in_test).is_empty());
+    }
+
+    #[test]
+    fn par_layer_sanctions_serve_spawns_but_nothing_wider() {
+        // The serving layer's accept/worker pool may `thread::spawn`...
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let ok = lint_source("server.rs", "tweetmob-serve", FileKind::Library, spawn);
+        assert!(ok.iter().all(|d| d.rule != Rule::ParLayer), "{ok:?}");
+        // ...but scoped/crossbeam concurrency there still flags — that
+        // is the shape of compute, which belongs in the shared pool.
+        let scoped = "fn f() {\n    std::thread::scope(|s| { let _ = s; });\n    \
+                      crossbeam::scope(|s| { let _ = s; }).unwrap();\n}\n";
+        let d = lint_source("server.rs", "tweetmob-serve", FileKind::Library, scoped);
+        assert_eq!(d.iter().filter(|d| d.rule == Rule::ParLayer).count(), 2, "{d:?}");
+        // And the sanction is serve's alone: the same spawn elsewhere
+        // keeps flagging.
+        let other = lint_source("m.rs", "tweetmob-core", FileKind::Library, spawn);
+        assert_eq!(other.iter().filter(|d| d.rule == Rule::ParLayer).count(), 1);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod trace;
 pub use histogram::Histogram;
 pub use manifest::{FileStamp, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use registry::{Counter, Gauge, MetricsRegistry};
-pub use span::{SpanGuard, SpanStat, LATENCY_BOUNDS_NS};
+pub use span::{SpanGuard, SpanStat, Timer, LATENCY_BOUNDS_NS, SERVE_LATENCY_BOUNDS_NS};
 pub use trace::{TraceEvent, TracePhase, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::OnceLock;

@@ -828,6 +828,50 @@ mod tests {
     }
 
     #[test]
+    fn saturated_quantiles_render_with_a_visible_overflow_count() {
+        let r = MetricsRegistry::new();
+        // Bounds far too narrow for the tail: every quantile rank that
+        // lands in the overflow bucket saturates at the last finite
+        // bound, so the rendered document must carry the overflow count
+        // right next to the quantiles as the under-reporting signal.
+        let h = r.histogram("serve_latency_demo", &[10, 100]);
+        h.record(5);
+        for _ in 0..9 {
+            h.record(50_000); // far beyond the last bound
+        }
+        assert_eq!(h.overflow(), 9);
+        assert_eq!(h.quantile(0.99), 100, "p99 saturates at the last bound");
+        let json = r.to_json();
+        assert!(json.contains("\"overflow\": 9"), "overflow visible: {json}");
+        assert!(json.contains("\"p99\": 100"), "saturated p99 rendered: {json}");
+    }
+
+    #[test]
+    fn serve_latency_bounds_keep_cold_start_requests_finite() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("serve_cold_start", &crate::SERVE_LATENCY_BOUNDS_NS);
+        // A multi-second first request against a cold artifact must land
+        // in a finite bucket, not the overflow cell — otherwise serve
+        // p99 silently saturates (the failure mode pinned above).
+        h.record(4_000_000_000);
+        assert_eq!(h.overflow(), 0);
+        let p99 = h.quantile(0.99);
+        assert!(
+            p99 > 2_000_000_000 && p99 <= 30_000_000_000,
+            "cold start interpolates inside the finite buckets, got {p99}"
+        );
+    }
+
+    #[test]
+    fn timer_yields_monotonic_nanosecond_samples() {
+        let t = crate::Timer::start();
+        let first = t.elapsed_ns();
+        std::hint::black_box((0..10_000u64).sum::<u64>());
+        let second = t.elapsed_ns();
+        assert!(second >= first, "{second} >= {first}");
+    }
+
+    #[test]
     fn chrome_trace_and_collapsed_exports_come_from_the_registry() {
         let r = MetricsRegistry::new();
         {

@@ -81,6 +81,58 @@ pub const LATENCY_BOUNDS_NS: [u64; 8] = [
     10_000_000_000,
 ];
 
+/// Upper bounds for request-serving latency histograms, nanoseconds:
+/// 50 µs, 200 µs, 1 ms, 5 ms, 20 ms, 100 ms, 500 ms, 2 s, 10 s, 30 s
+/// (+ overflow). Wider at the top than [`LATENCY_BOUNDS_NS`] on
+/// purpose: the first request against a cold artifact (page-faulting
+/// the geometry cache, warming allocator arenas) can take seconds, and
+/// a histogram whose last bound is below the cold-start cost silently
+/// under-reports p99 — the quantile saturates at the last finite bound
+/// (see `HistogramInner::quantile`), with only the rendered `overflow`
+/// count as a signal. These bounds keep cold-start requests inside the
+/// finite buckets so serve p99 stays honest.
+pub const SERVE_LATENCY_BOUNDS_NS: [u64; 10] = [
+    50_000,
+    200_000,
+    1_000_000,
+    5_000_000,
+    20_000_000,
+    100_000_000,
+    500_000_000,
+    2_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+];
+
+/// A monotonic stopwatch for code outside `tweetmob-obs` that needs a
+/// duration *sample* (e.g. per-request latency in a serving loop)
+/// without holding a span open or touching `std::time::Instant`
+/// directly — this crate is the one place in the workspace sanctioned
+/// to read the wall clock, and the determinism lint's taint pass keys
+/// on `Instant`/`elapsed` tokens at call sites.
+///
+/// Feed the result straight into a [`Histogram`](crate::Histogram) or
+/// counter; never format it into user-visible output on a
+/// determinism-audited path.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    started: Instant,
+}
+
+impl Timer {
+    /// Starts the stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Nanoseconds since [`Timer::start`], saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// All spans a registry has seen: first-start order for trace rendering,
 /// alphabetical (`BTreeMap`) order for serialization.
 #[derive(Debug, Default)]

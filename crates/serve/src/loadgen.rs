@@ -1,0 +1,212 @@
+//! A small closed-loop load generator for the serving layer.
+//!
+//! Each client thread drives one keep-alive connection as fast as the
+//! server answers, timing every exchange with [`tweetmob_obs::Timer`]
+//! (the workspace's sanctioned clock). The committed `BENCH_serve.json`
+//! is produced by the `serve_load` binary in `tweetmob-bench` running
+//! this against an in-process server at 1–8 clients.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use tweetmob_obs::Timer;
+
+/// Aggregated result of one load run at a fixed client count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Concurrent client connections driving the server.
+    pub clients: usize,
+    /// Requests that completed with a `200`.
+    pub ok: u64,
+    /// Requests that completed with any other status, or failed at the
+    /// socket level.
+    pub errors: u64,
+    /// Median request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Completed requests per second of wall time across all clients.
+    pub requests_per_sec: f64,
+}
+
+/// One keep-alive HTTP client connection.
+pub(crate) struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Wraps a connected stream.
+    pub(crate) fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
+        let _ = stream.set_read_timeout(Some(crate::server::SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(crate::server::SOCKET_TIMEOUT));
+        // Requests are single-write; without TCP_NODELAY each exchange
+        // eats a Nagle/delayed-ACK round (~40 ms) on loopback.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connects to `addr`.
+    pub(crate) fn connect(addr: &SocketAddr) -> std::io::Result<Client> {
+        Client::from_stream(TcpStream::connect_timeout(
+            addr,
+            crate::server::SOCKET_TIMEOUT,
+        )?)
+    }
+
+    /// Sends one request and reads the response, returning the status
+    /// code and body.
+    pub(crate) fn exchange(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let wire = format!(
+            "{method} {target} HTTP/1.1\r\nHost: tweetmob\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("server closed the connection"));
+        }
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length: usize = 0;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed inside headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("malformed Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// Runs `requests_per_client` `GET target` requests on each of
+/// `clients` concurrent connections against `addr`, and aggregates
+/// latency quantiles and throughput.
+///
+/// # Errors
+///
+/// Fails only when a client cannot *connect*; per-request failures are
+/// counted into [`LoadReport::errors`] instead.
+pub fn run_load(
+    addr: &SocketAddr,
+    target: &str,
+    clients: usize,
+    requests_per_client: usize,
+) -> std::io::Result<LoadReport> {
+    let clients = clients.max(1);
+    let wall = Timer::start();
+    let mut joins = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let mut client = Client::connect(addr)?;
+        let target = target.to_string();
+        joins.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(requests_per_client);
+            let mut ok = 0u64;
+            let mut errors = 0u64;
+            for _ in 0..requests_per_client {
+                let timer = Timer::start();
+                match client.exchange("GET", &target, "") {
+                    Ok((200, _)) => {
+                        latencies.push(timer.elapsed_ns());
+                        ok += 1;
+                    }
+                    Ok(_) => errors += 1,
+                    Err(_) => {
+                        errors += 1;
+                        // The connection is dead; reconnect or stop.
+                        match Client::connect_from_spawned(&client) {
+                            Some(next) => client = next,
+                            None => break,
+                        }
+                    }
+                }
+            }
+            (latencies, ok, errors)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for join in joins {
+        if let Ok((lat, o, e)) = join.join() {
+            latencies.extend(lat);
+            ok += o;
+            errors += e;
+        } else {
+            errors += 1;
+        }
+    }
+    let elapsed_ns = wall.elapsed_ns().max(1);
+    latencies.sort_unstable();
+    Ok(LoadReport {
+        clients,
+        ok,
+        errors,
+        p50_ns: quantile(&latencies, 0.50),
+        p99_ns: quantile(&latencies, 0.99),
+        requests_per_sec: ok as f64 / (elapsed_ns as f64 / 1e9),
+    })
+}
+
+impl Client {
+    /// Reconnects to wherever an existing client points, best-effort.
+    fn connect_from_spawned(previous: &Client) -> Option<Client> {
+        let addr = previous.writer.peer_addr().ok()?;
+        Client::connect(&addr).ok()
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample; `0` when empty.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted.get(rank.min(sorted.len() - 1)).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quantile;
+
+    #[test]
+    fn quantiles_use_nearest_rank_on_the_sorted_sample() {
+        let sample: Vec<u64> = (1..=100).collect();
+        // (len-1) * 0.5 = 49.5 rounds up to index 50, value 51.
+        assert_eq!(quantile(&sample, 0.50), 51);
+        assert_eq!(quantile(&sample, 0.99), 99);
+        assert_eq!(quantile(&sample, 1.0), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+}

@@ -144,13 +144,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "flow must be finite")]
     fn finite_rejects_nan() {
-        assert_finite(f64::NAN, "flow");
+        let _ = assert_finite(f64::NAN, "flow");
     }
 
     #[test]
     #[should_panic(expected = "flow must be finite")]
     fn finite_rejects_infinity() {
-        assert_finite(f64::INFINITY, "flow");
+        let _ = assert_finite(f64::INFINITY, "flow");
     }
 
     #[test]
@@ -162,13 +162,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "count must be finite and >= 0")]
     fn nonneg_rejects_negative() {
-        assert_nonneg(-1e-9, "count");
+        let _ = assert_nonneg(-1e-9, "count");
     }
 
     #[test]
     #[should_panic(expected = "count must be finite and >= 0")]
     fn nonneg_rejects_nan() {
-        assert_nonneg(f64::NAN, "count");
+        let _ = assert_nonneg(f64::NAN, "count");
     }
 
     #[test]
@@ -181,13 +181,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "p must be a probability")]
     fn prob_rejects_above_one() {
-        assert_prob(1.0 + 1e-12, "p");
+        let _ = assert_prob(1.0 + 1e-12, "p");
     }
 
     #[test]
     #[should_panic(expected = "p must be a probability")]
     fn prob_rejects_nan() {
-        assert_prob(f64::NAN, "p");
+        let _ = assert_prob(f64::NAN, "p");
     }
 
     #[test]

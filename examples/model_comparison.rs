@@ -67,7 +67,9 @@ fn main() {
                 bundle.save(&mut bytes).expect("serialize artifact");
                 let loaded = ModelBundle::load(&bytes[..]).expect("reload artifact");
                 let origin = loaded.area_index("Sydney").expect("Sydney");
-                let top = loaded.top_k(ModelKind::Gravity2, origin, 1);
+                let top = loaded
+                    .top_k(ModelKind::Gravity2, origin, 1)
+                    .expect("origin index from the bundle itself");
                 println!(
                     "{:<14} (artifact: {} bytes; reloaded gravity2 puts {} first from Sydney)",
                     "",

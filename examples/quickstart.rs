@@ -81,7 +81,10 @@ fn main() {
     println!("artifact: {} bytes, {} areas", artifact.len(), loaded.len());
     let origin = loaded.area_index("Sydney").expect("Sydney in bundle");
     println!("top 3 gravity destinations from Sydney:");
-    for (dest, flow) in loaded.top_k(ModelKind::Gravity2, origin, 3) {
+    let top = loaded
+        .top_k(ModelKind::Gravity2, origin, 3)
+        .expect("origin index from the bundle itself");
+    for (dest, flow) in top {
         println!(
             "  {:<14} predicted flow {flow:.1}",
             loaded.areas()[dest].name

@@ -101,8 +101,8 @@ proptest! {
                         continue;
                     }
                     prop_assert_eq!(
-                        bundle.predict(kind, i, j).to_bits(),
-                        loaded.predict(kind, i, j).to_bits(),
+                        bundle.predict(kind, i, j).unwrap().to_bits(),
+                        loaded.predict(kind, i, j).unwrap().to_bits(),
                         "{} {}->{}", kind, i, j
                     );
                 }
@@ -151,21 +151,21 @@ fn pipeline_fit_save_load_predict_is_bit_identical_at_1_and_8_threads() {
                 if i == j {
                     continue;
                 }
-                let obs = bundle.observation(i, j);
+                let obs = bundle.observation(i, j).unwrap();
                 assert_eq!(
-                    loaded.predict(ModelKind::Gravity4, i, j).to_bits(),
+                    loaded.predict(ModelKind::Gravity4, i, j).unwrap().to_bits(),
                     report.gravity4.predict(&obs).to_bits()
                 );
                 assert_eq!(
-                    loaded.predict(ModelKind::Gravity2, i, j).to_bits(),
+                    loaded.predict(ModelKind::Gravity2, i, j).unwrap().to_bits(),
                     report.gravity2.predict(&obs).to_bits()
                 );
                 assert_eq!(
-                    loaded.predict(ModelKind::Radiation, i, j).to_bits(),
+                    loaded.predict(ModelKind::Radiation, i, j).unwrap().to_bits(),
                     report.radiation.predict(&obs).to_bits()
                 );
                 assert_eq!(
-                    loaded.predict(ModelKind::Opportunities, i, j).to_bits(),
+                    loaded.predict(ModelKind::Opportunities, i, j).unwrap().to_bits(),
                     report.opportunities.predict(&obs).to_bits()
                 );
             }
@@ -189,10 +189,10 @@ fn top_k_from_loaded_artifact_matches_in_memory() {
     let loaded = ModelBundle::load(&bytes[..]).expect("load");
     let origin = bundle.area_index("Sydney").expect("Sydney present");
     for kind in ModelKind::ALL {
-        let expect = bundle.top_k(kind, origin, 5);
+        let expect = bundle.top_k(kind, origin, 5).unwrap();
         assert_eq!(expect.len(), 5);
         assert!(expect.windows(2).all(|w| w[0].1 >= w[1].1));
-        assert_eq!(expect, loaded.top_k(kind, origin, 5));
+        assert_eq!(expect, loaded.top_k(kind, origin, 5).unwrap());
     }
 }
 
