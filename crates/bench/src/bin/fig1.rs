@@ -15,7 +15,7 @@ fn main() {
     print_header("FIGURE 1 — tweet-density map", &cfg, &ds);
 
     let mut grid = DensityGrid::new(AUSTRALIA_BBOX, 0.2);
-    grid.extend(ds.points().iter().copied());
+    grid.extend(ds.iter_points());
     println!(
         "raster: {}×{} cells at 0.2°, {} tweets, max cell {}",
         grid.width(),

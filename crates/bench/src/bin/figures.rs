@@ -34,7 +34,7 @@ fn main() {
 
     // ---- Fig. 1: density heatmap ----------------------------------
     let mut grid = DensityGrid::new(AUSTRALIA_BBOX, 0.2);
-    grid.extend(ds.points().iter().copied());
+    grid.extend(ds.iter_points());
     let (w, h) = (grid.width(), grid.height());
     let mut counts = Vec::with_capacity(w * h);
     for row in 0..h {

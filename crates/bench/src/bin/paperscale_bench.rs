@@ -1,0 +1,301 @@
+//! Paper-scale end-to-end benchmark for the columnar data layer.
+//!
+//! Runs the whole pipeline at the paper's own scale — 473,956 users,
+//! ~6.3M geo-tagged tweets — and records per-stage wall times into
+//! `BENCH_paperscale.json` under the `"paperscale"` key:
+//!
+//! * **generate** — synthetic stream, direct-to-columns (no re-sort).
+//! * **encode** — the dataset serialized as `TWB0` row-struct records
+//!   and as `TWC0` columnar (sizes recorded; the columnar file is the
+//!   smaller one because the per-row user column collapses to a CSR
+//!   index).
+//! * **load** — decoding each encoding back into a [`TweetDataset`]:
+//!   the row path re-parses 28-byte records and re-sorts; the columnar
+//!   path is header validation plus bulk little-endian column decode.
+//! * **population** — Fig.-3 population correlation over the coordinate
+//!   columns at the national scale.
+//! * **trips** — OD extraction: the serial row-struct reference
+//!   ([`extract_trips_reference`]) vs the sharded batch-kernel path
+//!   ([`extract_trips`]) at 1/2/4/8 threads.
+//! * **fits** — all four paper models on the extracted observations;
+//!   Radiation and Opportunities also time their pre-columnar reference
+//!   fitters.
+//!
+//! Every cross-path and cross-thread-count pair of results is checked
+//! for byte identity; the process exits 1 on the first mismatch, so a
+//! committed `BENCH_paperscale.json` is also a correctness witness.
+//!
+//! ```text
+//! cargo run --release -p tweetmob-bench --bin paperscale_bench
+//! TWEETMOB_USERS=20000 cargo run --release -p tweetmob-bench --bin paperscale_bench
+//! ```
+//!
+//! `TWEETMOB_USERS` scales the run down (the CI `paperscale` job uses
+//! it); the dataset defaults to the paper's 473,956 users. Timings are
+//! best-of-N with a warm-up pass, fewer reps for the expensive stages.
+
+use tweetmob_bench::{emit_bench_metrics_to, print_header, BENCH_PAPERSCALE_PATH};
+use tweetmob_core::{extract_trips, extract_trips_reference, AreaSet, Experiment, Scale};
+use tweetmob_data::{binary, columnar, TweetDataset};
+use tweetmob_models::{
+    Gravity2Fit, Gravity4Fit, GravityGrid, OpportunitiesFit, RadiationFit,
+};
+use tweetmob_obs::MetricsRegistry;
+use tweetmob_synth::{GeneratorConfig, TweetGenerator};
+
+/// The paper's collected-user count (§II: 473,956 unique users).
+const PAPER_USERS: u32 = 473_956;
+
+/// Runs `run` once as warm-up, then `reps` timed repetitions under the
+/// private stopwatch; returns the fastest repetition's nanoseconds and
+/// the last result.
+fn best_of<T>(
+    stopwatch: &MetricsRegistry,
+    name: &str,
+    reps: usize,
+    mut run: impl FnMut() -> T,
+) -> (u64, T) {
+    let mut result = run(); // warm-up
+    for _ in 0..reps.max(1) {
+        let _timer = stopwatch.span(name);
+        result = run();
+    }
+    let best = stopwatch.span_stat(name).map_or(u64::MAX, |s| s.min_ns);
+    (best, result)
+}
+
+fn speedup(old_ns: u64, new_ns: u64) -> f64 {
+    if new_ns > 0 {
+        old_ns as f64 / new_ns as f64
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let mut cfg = GeneratorConfig::default();
+    cfg.n_users = PAPER_USERS;
+    if let Some(n) = std::env::var("TWEETMOB_USERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        cfg.n_users = n.clamp(1, u64::from(u32::MAX)) as u32;
+    }
+    if let Some(seed) = std::env::var("TWEETMOB_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        cfg.seed = seed;
+    }
+    let quick = cfg.n_users < PAPER_USERS;
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let stopwatch = MetricsRegistry::new();
+    let mut mismatch = false;
+    let mut check = |label: &str, identical: bool| {
+        if !identical {
+            eprintln!("BYTE-IDENTITY FAILURE: {label}");
+        }
+        mismatch |= !identical;
+        identical
+    };
+
+    // --- Stage 1: generate (direct-to-columns) ------------------------
+    // Expensive at full scale, so warm-up + one timed rep.
+    let (generate_ns, ds) = best_of(&stopwatch, "generate", 1, || {
+        TweetGenerator::new(cfg.clone()).generate()
+    });
+    print_header(
+        if quick {
+            "PAPER-SCALE BENCH (scaled down) — columnar data layer, end to end"
+        } else {
+            "PAPER-SCALE BENCH — columnar data layer, end to end"
+        },
+        &cfg,
+        &ds,
+    );
+    println!("  generate                 {generate_ns:>12} ns");
+
+    // --- Stage 2: encode both formats ---------------------------------
+    let (encode_rows_ns, rows_bytes) = best_of(&stopwatch, "encode/rows", 2, || {
+        let mut buf = Vec::new();
+        binary::write_binary(&ds, &mut buf).expect("encode rows to memory");
+        buf
+    });
+    let (encode_cols_ns, cols_bytes) = best_of(&stopwatch, "encode/columnar", 2, || {
+        let mut buf = Vec::new();
+        columnar::write_columnar(&ds, &mut buf).expect("encode columnar to memory");
+        buf
+    });
+    println!(
+        "  encode   rows {encode_rows_ns:>12} ns ({} B)   columnar {encode_cols_ns:>12} ns ({} B)",
+        rows_bytes.len(),
+        cols_bytes.len()
+    );
+
+    // --- Stage 3: load rows vs columnar -------------------------------
+    let (load_rows_ns, rows_ds) = best_of(&stopwatch, "load/rows", 3, || {
+        binary::read_binary(rows_bytes.as_slice()).expect("decode rows")
+    });
+    let (load_cols_ns, cols_ds) = best_of(&stopwatch, "load/columnar", 3, || {
+        columnar::decode_columnar(&cols_bytes).expect("decode columnar")
+    });
+    let load_identical =
+        check("load: columnar vs rows", cols_ds == rows_ds) & check("load: columnar vs generated", cols_ds == ds);
+    let load_speedup = speedup(load_rows_ns, load_cols_ns);
+    println!(
+        "  load     rows {load_rows_ns:>12} ns   columnar {load_cols_ns:>12} ns   speedup {load_speedup:>5.2}x   identical: {load_identical}"
+    );
+    drop((rows_ds, cols_ds, rows_bytes));
+
+    // --- Stage 4: population over the coordinate columns ---------------
+    let (population_ns, pooled_r) = best_of(&stopwatch, "population", 1, || {
+        let exp = Experiment::new(&ds);
+        exp.pooled_population().expect("pooled population").pooled.r
+    });
+    println!("  population               {population_ns:>12} ns   pooled r = {pooled_r:.3}");
+
+    // --- Stage 5: trips, reference vs batch at 1/2/4/8 threads ---------
+    let areas = AreaSet::of_scale(Scale::National);
+    let (trips_ref_ns, od_reference) = best_of(&stopwatch, "trips/reference", 1, || {
+        extract_trips_reference(&ds, &areas)
+    });
+    println!("  trips    row-struct reference (serial) {trips_ref_ns:>12} ns   ({} trips)", od_reference.total());
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let mut trips_threads = serde_json::Map::new();
+    for &t in thread_counts {
+        let (ns, od) = best_of(&stopwatch, &format!("trips/{t}"), 2, || {
+            tweetmob_par::with_threads(t, || extract_trips(&ds, &areas))
+        });
+        let identical = check(&format!("trips @{t} threads vs reference"), od == od_reference);
+        println!(
+            "  trips    columnar @{t} thread(s)   {ns:>12} ns   speedup vs rows {:>5.2}x   identical: {identical}",
+            speedup(trips_ref_ns, ns)
+        );
+        trips_threads.insert(
+            t.to_string(),
+            serde_json::json!({
+                "columnar_ns": ns,
+                "speedup_vs_rows": speedup(trips_ref_ns, ns),
+                "identical": identical,
+            }),
+        );
+    }
+
+    // --- Stage 6: model fits -------------------------------------------
+    // Observations come from the already-verified national OD matrix via
+    // the experiment runner (same path `tweetmob fit` takes).
+    let exp = Experiment::new(&ds);
+    let report = exp
+        .mobility(Scale::National)
+        .expect("mobility report at paper scale");
+    let obs = &report.observations;
+    let grid = GravityGrid::default();
+    let mut fits_threads = serde_json::Map::new();
+    let mut baselines: Option<[String; 4]> = None;
+    for &t in thread_counts {
+        let (g4_ns, g4) = best_of(&stopwatch, &format!("fit/gravity4/{t}"), 2, || {
+            tweetmob_par::with_threads(t, || Gravity4Fit::fit_grid(obs, &grid).expect("gravity4"))
+        });
+        let (g2_ns, g2) = best_of(&stopwatch, &format!("fit/gravity2/{t}"), 2, || {
+            tweetmob_par::with_threads(t, || Gravity2Fit::fit(obs).expect("gravity2"))
+        });
+        let (rad_ns, rad) = best_of(&stopwatch, &format!("fit/radiation/{t}"), 2, || {
+            tweetmob_par::with_threads(t, || RadiationFit::fit_columnar(obs).expect("radiation"))
+        });
+        let (opp_ns, opp) = best_of(&stopwatch, &format!("fit/opportunities/{t}"), 2, || {
+            tweetmob_par::with_threads(t, || OpportunitiesFit::fit_columnar(obs).expect("opportunities"))
+        });
+        let rendered = [
+            serde_json::to_string(&g4).expect("fit serializes"),
+            serde_json::to_string(&g2).expect("fit serializes"),
+            serde_json::to_string(&rad).expect("fit serializes"),
+            serde_json::to_string(&opp).expect("fit serializes"),
+        ];
+        let identical = *baselines.get_or_insert_with(|| rendered.clone()) == rendered;
+        check(&format!("fits @{t} threads vs first thread count"), identical);
+        println!(
+            "  fits     @{t} thread(s)   gravity4 {g4_ns:>12} ns   gravity2 {g2_ns:>9} ns   radiation {rad_ns:>9} ns   opportunities {opp_ns:>9} ns   identical: {identical}"
+        );
+        fits_threads.insert(
+            t.to_string(),
+            serde_json::json!({
+                "gravity4_ns": g4_ns,
+                "gravity2_ns": g2_ns,
+                "radiation_ns": rad_ns,
+                "opportunities_ns": opp_ns,
+                "identical": identical,
+            }),
+        );
+    }
+    // Columnar single-constant fits vs their pre-columnar references.
+    let (rad_ref_ns, rad_ref) = best_of(&stopwatch, "fit/radiation/reference", 2, || {
+        RadiationFit::fit(obs).expect("radiation reference")
+    });
+    let (opp_ref_ns, opp_ref) = best_of(&stopwatch, "fit/opportunities/reference", 2, || {
+        OpportunitiesFit::fit(obs).expect("opportunities reference")
+    });
+    let rad_identical = check(
+        "radiation columnar vs reference",
+        report.radiation.c.to_bits() == rad_ref.c.to_bits() && report.radiation.n_used == rad_ref.n_used,
+    );
+    let opp_identical = check(
+        "opportunities columnar vs reference",
+        report.opportunities.c.to_bits() == opp_ref.c.to_bits()
+            && report.opportunities.n_used == opp_ref.n_used,
+    );
+    println!(
+        "  fits     radiation reference {rad_ref_ns:>9} ns (identical: {rad_identical})   opportunities reference {opp_ref_ns:>9} ns (identical: {opp_identical})"
+    );
+
+    let notes = serde_json::json!({
+        "n_users": ds.n_users(),
+        "n_tweets": ds.n_tweets(),
+        "paper_scale_users": PAPER_USERS,
+        "quick": quick,
+        "host_parallelism": host,
+        "threads_tested": thread_counts,
+        "generate_ns": generate_ns,
+        "format": {
+            "rows_bytes": rows_bytes_len(&ds),
+            "columnar_bytes": cols_bytes.len(),
+            "encode_rows_ns": encode_rows_ns,
+            "encode_columnar_ns": encode_cols_ns,
+            "load": {
+                "rows_ns": load_rows_ns,
+                "columnar_ns": load_cols_ns,
+                "speedup": load_speedup,
+                "identical": load_identical,
+            },
+        },
+        "population": { "elapsed_ns": population_ns, "pooled_r": pooled_r },
+        "trips": {
+            "n_trips": od_reference.total(),
+            "reference_rows_ns": trips_ref_ns,
+            "threads": trips_threads,
+        },
+        "fits": {
+            "n_observations": obs.len(),
+            "threads": fits_threads,
+            "radiation_reference_ns": rad_ref_ns,
+            "opportunities_reference_ns": opp_ref_ns,
+            "radiation_identical": rad_identical,
+            "opportunities_identical": opp_identical,
+        },
+    });
+    if let Err(e) = emit_bench_metrics_to(BENCH_PAPERSCALE_PATH, "paperscale", notes) {
+        eprintln!("failed to write {BENCH_PAPERSCALE_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {BENCH_PAPERSCALE_PATH}");
+    if mismatch {
+        eprintln!("error: a stage produced output differing from its reference");
+        std::process::exit(1);
+    }
+}
+
+/// Size of the row-struct encoding without keeping the buffer alive
+/// (the actual bytes were dropped after the load stage).
+fn rows_bytes_len(ds: &TweetDataset) -> usize {
+    binary::HEADER_BYTES + ds.n_tweets() * binary::RECORD_BYTES
+}

@@ -91,7 +91,7 @@ fn main() {
         "synth/generate".into(),
         bench_stage(&stopwatch, "synth/generate", threads, &move || {
             let ds = TweetGenerator::new(gen_cfg.clone()).generate();
-            format!("{:?}|{:?}|{:?}", ds.users(), ds.times(), ds.points())
+            format!("{:?}|{:?}|{:?}|{:?}", ds.users(), ds.times(), ds.lats(), ds.lons())
         }),
     );
 

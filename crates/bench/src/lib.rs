@@ -44,6 +44,12 @@ pub const BENCH_KERNELS_PATH: &str = "BENCH_kernels.json";
 /// server at 1–8 concurrent clients.
 pub const BENCH_SERVE_PATH: &str = "BENCH_serve.json";
 
+/// The paper-scale document `paperscale_bench` writes: per-stage
+/// timings of a full 6.3M-tweet / 474k-user end-to-end run (generate →
+/// encode → load → population → trips → model fits) at 1–8 threads,
+/// with row-struct-vs-columnar speedups and byte-identity verdicts.
+pub const BENCH_PAPERSCALE_PATH: &str = "BENCH_paperscale.json";
+
 /// Builds the standard experiment dataset, honouring the
 /// `TWEETMOB_USERS` / `TWEETMOB_SEED` environment knobs.
 pub fn standard_dataset() -> (GeneratorConfig, TweetDataset) {

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use tweetmob_core::{deterrence_ablation, AreaSet, Experiment, PopulationSource, Scale};
 use tweetmob_data::{io as dataio, DatasetSummary, ModelBundle, TweetDataset};
 use tweetmob_epidemic::{MobilityNetwork, OutbreakScenario, SeirParams};
@@ -51,9 +51,11 @@ pub fn export(args: &Args) -> Result<()> {
     Ok(())
 }
 
-/// Loads a dataset by extension: `.csv` → CSV, `.twb` → binary,
-/// anything else → JSONL. Every failure names the path and how far the
-/// read got, and bumps the `data/load_errors` counter.
+/// Loads a dataset: the two binary formats (`TWC0` columnar, `TWB0`
+/// row-struct) are detected by their leading magic whatever the file is
+/// named; text files dispatch by extension (`.csv` → CSV, anything else
+/// → JSONL). Every failure names the path and how far the read got, and
+/// bumps the `data/load_errors` counter.
 fn load(path: &str) -> Result<TweetDataset> {
     let _span = tweetmob_obs::span!("load");
     // Recorded before the read so a corrupt input still appears in the
@@ -74,17 +76,78 @@ fn load(path: &str) -> Result<TweetDataset> {
     }
 }
 
-/// The raw extension-dispatched read behind [`load`].
+/// The raw format-dispatched read behind [`load`]: sniffs the leading
+/// four bytes for a binary magic first (so a `.twc` renamed to `.dat`
+/// still loads), then falls back to extension dispatch for the text
+/// formats.
 fn read_dataset(path: &str) -> Result<TweetDataset> {
     let file = File::open(path).map_err(|e| format!("cannot open: {e}"))?;
-    let reader = BufReader::new(file);
-    Ok(if path.ends_with(".csv") {
-        dataio::read_csv(reader)?
-    } else if path.ends_with(".twb") {
+    let mut reader = BufReader::new(file);
+    // fill_buf peeks without consuming, so each branch's reader starts
+    // at byte 0 and validates the full header itself.
+    let head = reader.peek_fill_buf().map_err(|e| format!("cannot read: {e}"))?;
+    Ok(if head.starts_with(&tweetmob_data::columnar::MAGIC) {
+        tweetmob_data::columnar::read_columnar(reader)?
+    } else if head.starts_with(&tweetmob_data::binary::MAGIC) {
         tweetmob_data::binary::read_binary(reader)?
+    } else if path.ends_with(".csv") {
+        dataio::read_csv(reader)?
     } else {
         dataio::read_jsonl(reader)?
     })
+}
+
+/// Peek adapter: `BufRead::fill_buf` without the borrow fight of
+/// calling it inline on a reader we immediately hand elsewhere.
+trait PeekFillBuf: BufRead {
+    fn peek_fill_buf(&mut self) -> std::io::Result<Vec<u8>> {
+        Ok(self.fill_buf()?.to_vec())
+    }
+}
+
+impl<T: BufRead> PeekFillBuf for T {}
+
+/// Writes a dataset in the format named by `format`, or chosen by the
+/// output extension when `format` is `None`: `csv`, `twb` (row-struct
+/// binary), `twc` (columnar binary), `jsonl` (the default).
+fn write_dataset(ds: &TweetDataset, out_path: &str, format: Option<&str>) -> Result<()> {
+    let format = match format {
+        Some(f) => f,
+        None if out_path.ends_with(".csv") => "csv",
+        None if out_path.ends_with(".twb") => "twb",
+        None if out_path.ends_with(".twc") => "twc",
+        None => "jsonl",
+    };
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    match format {
+        "csv" => dataio::write_csv(ds, writer)?,
+        "twb" | "binary" => tweetmob_data::binary::write_binary(ds, writer)?,
+        "twc" | "columnar" => tweetmob_data::columnar::write_columnar(ds, writer)?,
+        "jsonl" | "json" => dataio::write_jsonl(ds, writer)?,
+        other => return Err(format!("unknown format {other:?} (jsonl|csv|twb|twc)").into()),
+    }
+    tweetmob_obs::manifest::record_output(out_path);
+    Ok(())
+}
+
+/// `tweetmob convert --in <dataset> --out <dataset> [--format F]` —
+/// re-encode a dataset between the text and binary formats. The input
+/// format is detected like every other load (binary magic first, then
+/// extension); the output format follows `--format` or the output
+/// extension. Conversion is lossless: loading the output yields the
+/// same dataset, which the round-trip tests assert byte-for-byte.
+pub fn convert(args: &Args) -> Result<()> {
+    let input = args.get("in").ok_or("missing --in PATH")?;
+    let out_path = args.get("out").ok_or("missing --out PATH")?;
+    let ds = load(input)?;
+    write_dataset(&ds, out_path, args.get("format"))?;
+    println!(
+        "converted {} tweets from {} users: {input} → {out_path}",
+        ds.n_tweets(),
+        ds.n_users()
+    );
+    Ok(())
 }
 
 /// Assembles the run manifest: subcommand, normalized args, seed,
@@ -288,23 +351,14 @@ fn bundle_arg(args: &Args) -> Result<ModelBundle> {
     }
 }
 
-/// `tweetmob generate <out> [--users N] [--seed N]`
+/// `tweetmob generate <out> [--users N] [--seed N] [--format F]`
 pub fn generate(args: &Args) -> Result<()> {
     let out_path = args.positional(0).ok_or("missing output path")?;
     let mut cfg = GeneratorConfig::default();
     cfg.n_users = args.get_parsed("users", cfg.n_users)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
     let ds = TweetGenerator::try_new(cfg)?.generate();
-    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
-    let writer = BufWriter::new(file);
-    if out_path.ends_with(".csv") {
-        dataio::write_csv(&ds, writer)?;
-    } else if out_path.ends_with(".twb") {
-        tweetmob_data::binary::write_binary(&ds, writer)?;
-    } else {
-        dataio::write_jsonl(&ds, writer)?;
-    }
-    tweetmob_obs::manifest::record_output(out_path);
+    write_dataset(&ds, out_path, args.get("format"))?;
     println!(
         "wrote {} tweets from {} users to {out_path}",
         ds.n_tweets(),

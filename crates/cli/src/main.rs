@@ -14,8 +14,12 @@
 //! tweetmob serve --artifact-in models.tma --bind 127.0.0.1:8787
 //! ```
 //!
-//! Datasets are JSONL (default), CSV, or the compact binary `.twb`
-//! format, chosen by file extension.
+//! Datasets are JSONL (default), CSV, the compact row-struct binary
+//! `.twb`, or the mmap-style columnar `.twc` format. Writers choose by
+//! file extension (or `--format`); readers detect the binary formats by
+//! their leading magic and fall back to extension dispatch, so
+//! `tweetmob convert --in tweets.jsonl --out tweets.twc` round-trips
+//! through any pair of formats.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,9 +37,14 @@ USAGE:
     tweetmob <command> [args]
 
 COMMANDS:
-    generate <out.{jsonl,csv,twb}>  generate a synthetic Australian tweet stream
+    generate <out.{jsonl,csv,twb,twc}>  generate a synthetic Australian tweet stream
         --users N                user count                    [default 20000]
         --seed N                 generator seed                [calibrated preset]
+        --format F               jsonl | csv | twb | twc       [default: by extension]
+    convert                      re-encode a dataset between formats
+        --in PATH                input dataset (format auto-detected) [required]
+        --out PATH               output dataset                [required]
+        --format F               jsonl | csv | twb | twc       [default: by extension]
     summary <dataset>            Table-I statistics of a dataset
     population <dataset>         Fig.-3 population estimation
         --scale S                national | state | metro      [default national]
@@ -119,7 +128,8 @@ fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let command = raw.first().cloned().unwrap_or_else(|| "help".into());
     let rest = raw.into_iter().skip(1);
     let (handler, valued, switches): (CommandFn, &[&str], &[&str]) = match command.as_str() {
-        "generate" => (commands::generate, &["users", "seed"], &[]),
+        "generate" => (commands::generate, &["users", "seed", "format"], &[]),
+        "convert" => (commands::convert, &["in", "out", "format"], &[]),
         "summary" => (commands::summary, &[], &[]),
         "population" => (commands::population, &["scale", "radius"], &[]),
         "mobility" => (

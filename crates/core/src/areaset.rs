@@ -1,7 +1,9 @@
 //! Study scales and area sets with point-to-area assignment.
 
 use std::sync::Arc;
-use tweetmob_geo::{equirectangular_km, haversine_km, PairGeometry, Point};
+use tweetmob_geo::{
+    equirectangular_km, haversine_km, PairGeometry, Point, TrigPoint, EARTH_RADIUS_KM,
+};
 use tweetmob_synth::{Area, NATIONAL_TOP20, NSW_TOP20, SYDNEY_SUBURBS_TOP20};
 
 /// The paper's three geographic scales (§III).
@@ -56,6 +58,60 @@ pub struct AreaSet {
     /// Build-once pairwise centre geometry, shared with every model
     /// consumer (observations, intervening population, epidemic network).
     geometry: Arc<PairGeometry>,
+    /// Per-area precomputed assignment filters for the batch path.
+    filters: Vec<AreaFilter>,
+}
+
+/// Per-area state precomputed once for [`AreaSet::assign_batch`]: a
+/// conservative degree-space bounding window plus the centre's hoisted
+/// trigonometry.
+///
+/// The window is derived *from* the equirectangular pre-filter, never
+/// replacing it: `equirectangular_km ≥ R·|Δlat_rad|` always, and (once
+/// the latitude window has passed) `≥ R·|Δlon_rad|·cos_min` with
+/// `cos_min` the cosine lower bound over the admissible latitude band —
+/// so a point outside the window is guaranteed to be outside the
+/// equirectangular gate too (the 0.1 % inflation absorbs rounding).
+/// Survivors still run the exact equirectangular gate and the exact
+/// haversine (via [`TrigPoint`], bit-identical by its contract), which
+/// makes batch assignments decision-identical to [`AreaSet::assign`].
+#[derive(Debug, Clone)]
+struct AreaFilter {
+    lat: f64,
+    lon: f64,
+    /// Latitude half-window, degrees: beyond it the equirectangular
+    /// pre-filter necessarily rejects.
+    dlat_max: f64,
+    /// Longitude half-window, degrees, valid only after the latitude
+    /// window passed; `INFINITY` when the latitude band nears a pole.
+    dlon_max: f64,
+    trig: TrigPoint,
+}
+
+impl AreaFilter {
+    fn new(center: Point, prefilter_km: f64) -> Self {
+        // Kilometres per degree of latitude: R·π/180.
+        let km_per_deg = EARTH_RADIUS_KM.to_radians();
+        let dlat_max = prefilter_km / km_per_deg * 1.001;
+        let lo = (center.lat - dlat_max).clamp(-90.0, 90.0);
+        let hi = (center.lat + dlat_max).clamp(-90.0, 90.0);
+        // cos is unimodal on [-90°, 90°], so its minimum over the band is
+        // at an endpoint. The equirectangular mean latitude of any point
+        // inside the latitude window stays inside [lo, hi].
+        let cos_min = lo.to_radians().cos().min(hi.to_radians().cos());
+        let dlon_max = if cos_min > 1e-6 {
+            prefilter_km / (km_per_deg * cos_min) * 1.001
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            lat: center.lat,
+            lon: center.lon,
+            dlat_max,
+            dlon_max,
+            trig: TrigPoint::new(center),
+        }
+    }
 }
 
 impl AreaSet {
@@ -80,10 +136,16 @@ impl AreaSet {
         assert!(radius_km > 0.0, "search radius must be positive");
         let centers: Vec<Point> = areas.iter().map(|a| a.center).collect();
         let geometry = PairGeometry::shared(&centers);
+        let prefilter = radius_km * 1.05 + 1.0;
+        let filters = centers
+            .iter()
+            .map(|&c| AreaFilter::new(c, prefilter))
+            .collect();
         Self {
             areas,
             radius_km,
             geometry,
+            filters,
         }
     }
 
@@ -154,12 +216,57 @@ impl AreaSet {
             if equirectangular_km(a.center, p) > prefilter {
                 continue;
             }
+            // lint: allow(raw-haversine) — single-point query path; the column shape is assign_batch
             let d = haversine_km(a.center, p);
             if d <= self.radius_km && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
         best.map(|(i, _)| i)
+    }
+
+    /// Assigns a whole coordinate-column slice at once, appending one
+    /// code per point to `out`: the assigned area index, or `-1` when no
+    /// area covers the point.
+    ///
+    /// Decision-identical to calling [`AreaSet::assign`] per point — the
+    /// equirectangular gate and the haversine comparison are the exact
+    /// same float expressions — but structured for columnar callers:
+    /// the per-area trigonometry is hoisted into build-once
+    /// [`AreaFilter`]s, and most `(point, area)` combinations die in a
+    /// two-compare degree-space window before any trigonometry runs.
+    ///
+    /// # Panics
+    ///
+    /// If the columns have different lengths.
+    pub fn assign_batch(&self, lats: &[f64], lons: &[f64], out: &mut Vec<i32>) {
+        assert_eq!(lats.len(), lons.len(), "coordinate columns must be parallel");
+        let prefilter = self.radius_km * 1.05 + 1.0;
+        out.reserve(lats.len());
+        for (&lat, &lon) in lats.iter().zip(lons.iter()) {
+            let mut best: Option<(usize, f64)> = None;
+            let mut point_trig: Option<TrigPoint> = None;
+            let p = Point::new_unchecked(lat, lon);
+            for (i, f) in self.filters.iter().enumerate() {
+                // Conservative window: can only skip what the
+                // equirectangular gate below would skip anyway.
+                if (lat - f.lat).abs() > f.dlat_max || (lon - f.lon).abs() > f.dlon_max {
+                    continue;
+                }
+                if equirectangular_km(Point::new_unchecked(f.lat, f.lon), p) > prefilter {
+                    continue;
+                }
+                // The point's trigonometry is hoisted lazily: points that
+                // survive no window (the overwhelming majority at paper
+                // scale) never pay for it.
+                let pt = *point_trig.get_or_insert_with(|| TrigPoint::new(p));
+                let d = f.trig.distance_km(&pt);
+                if d <= self.radius_km && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            out.push(best.map_or(-1, |(i, _)| i as i32));
+        }
     }
 
     /// Census populations as `f64`, aligned with [`AreaSet::areas`].
@@ -280,6 +387,77 @@ mod tests {
     #[should_panic(expected = "search radius must be positive")]
     fn zero_radius_panics() {
         AreaSet::new(Scale::National.areas().to_vec(), 0.0);
+    }
+
+    #[test]
+    fn batch_assign_matches_scalar_everywhere() {
+        // A coarse sweep over the whole continent at every scale: the
+        // batch path must make the identical decision for every point,
+        // including boundary points far outside any window.
+        for scale in Scale::ALL {
+            let set = AreaSet::of_scale(scale);
+            let mut lats = Vec::new();
+            let mut lons = Vec::new();
+            let mut lat = -45.0;
+            while lat < -10.0 {
+                let mut lon = 112.0;
+                while lon < 155.0 {
+                    lats.push(lat);
+                    lons.push(lon);
+                    lon += 0.7;
+                }
+                lat += 0.7;
+            }
+            // And the exact centres plus near-radius offsets.
+            for a in set.areas() {
+                for off in [0.0, 0.01, 0.3, 0.5] {
+                    lats.push(a.center.lat + off);
+                    lons.push(a.center.lon - off);
+                }
+            }
+            let mut codes = Vec::new();
+            set.assign_batch(&lats, &lons, &mut codes);
+            assert_eq!(codes.len(), lats.len());
+            for k in 0..lats.len() {
+                let p = Point::new_unchecked(lats[k], lons[k]);
+                let scalar = set.assign(p).map_or(-1, |i| i as i32);
+                assert_eq!(codes[k], scalar, "{scale:?} point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_assign_appends_without_clearing() {
+        let set = AreaSet::of_scale(Scale::National);
+        let mut codes = vec![7];
+        set.assign_batch(&[-33.8688], &[151.2093], &mut codes);
+        assert_eq!(codes, vec![7, 0]);
+    }
+
+    mod batch_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn batch_assign_matches_scalar_on_random_points(
+                coords in prop::collection::vec((-55.0..-8.0f64, 110.0..160.0f64), 0..80),
+            ) {
+                let set = AreaSet::of_scale(Scale::State);
+                let lats: Vec<f64> = coords.iter().map(|c| c.0).collect();
+                let lons: Vec<f64> = coords.iter().map(|c| c.1).collect();
+                let mut codes = Vec::new();
+                set.assign_batch(&lats, &lons, &mut codes);
+                for k in 0..lats.len() {
+                    let scalar = set
+                        .assign(Point::new_unchecked(lats[k], lons[k]))
+                        .map_or(-1, |i| i as i32);
+                    prop_assert_eq!(codes[k], scalar);
+                }
+            }
+        }
     }
 
     #[test]

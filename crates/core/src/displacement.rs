@@ -55,7 +55,7 @@ pub fn displacements_km(dataset: &TweetDataset) -> Vec<f64> {
     let mut out = Vec::new();
     for view in dataset.iter_users() {
         let mut prev: Option<TrigPoint> = None;
-        for &p in view.points {
+        for p in view.iter_points() {
             let cur = TrigPoint::new(p);
             if let Some(last) = prev {
                 let d = last.distance_km(&cur);

@@ -170,7 +170,7 @@ impl<'a> Experiment<'a> {
     /// Indexes the dataset (0.2° grid cells — a few km; good for every ε
     /// the paper uses).
     pub fn new(dataset: &'a TweetDataset) -> Self {
-        let index = GridIndex::build(dataset.points().to_vec(), 0.2);
+        let index = GridIndex::from_columns(dataset.lats(), dataset.lons(), 0.2);
         Self {
             dataset,
             index,
@@ -322,8 +322,8 @@ impl<'a> Experiment<'a> {
         };
         let gravity4 = Gravity4Fit::fit(&observations)?;
         let gravity2 = Gravity2Fit::fit(&observations)?;
-        let radiation = RadiationFit::fit(&observations)?;
-        let opportunities = OpportunitiesFit::fit(&observations)?;
+        let radiation = RadiationFit::fit_columnar(&observations)?;
+        let opportunities = OpportunitiesFit::fit_columnar(&observations)?;
         let evaluations = vec![
             evaluate(&gravity4, &observations)?,
             evaluate(&gravity2, &observations)?,

@@ -57,7 +57,7 @@ pub use population::{AreaPopulation, PooledPopulation, PopulationCorrelation};
 pub use temporal::{
     temporal_stability, waiting_time_stationarity, TemporalStability, WindowResult,
 };
-pub use trips::extract_trips;
+pub use trips::{extract_trips, extract_trips_reference};
 
 /// The shared deterministic worker pool every parallel stage runs on
 /// (re-exported so pipeline callers can pin thread counts via

@@ -81,7 +81,8 @@ pub struct PooledPopulation {
 
 /// Estimates populations for one area set.
 ///
-/// `index` must be a [`GridIndex`] over `dataset.points()` (row order),
+/// `index` must be a [`GridIndex`] over the dataset's coordinate
+/// columns in row order (e.g. [`GridIndex::from_columns`]),
 /// so hit indices map straight to the dataset's parallel user column.
 /// The per-area radius queries are independent reads of a shared
 /// [`GridIndex`], so they are dispatched over the [`tweetmob_par`] pool
@@ -223,7 +224,7 @@ mod tests {
     }
 
     fn index_of(ds: &TweetDataset) -> GridIndex {
-        GridIndex::build(ds.points().to_vec(), 0.2)
+        GridIndex::from_columns(ds.lats(), ds.lons(), 0.2)
     }
 
     #[test]

@@ -8,28 +8,35 @@
 
 use crate::areaset::AreaSet;
 use crate::odmatrix::OdMatrix;
-use tweetmob_data::TweetDataset;
+use tweetmob_data::{TweetDataset, UserTweets};
 
 /// Extracts the directed OD matrix of a dataset over an area set.
 ///
-/// Users are processed independently (their streams are already
-/// time-ordered slices); area assignment uses [`AreaSet::assign`] —
-/// nearest centre within the search radius. Work is dispatched over the
-/// shared [`tweetmob_par`] pool per user block; the result is identical
-/// at every thread count because each trip increments an independent
-/// integer cell count and the drop tallies are commutative sums.
+/// Users are sharded by index range over the dataset's CSR user offsets
+/// — no per-user view vector is materialised — and each user's
+/// coordinate columns go through [`AreaSet::assign_batch`] in one call,
+/// so the hot loop is a linear scan over contiguous `lat[]` / `lon[]`
+/// slices. Work is dispatched over the shared [`tweetmob_par`] pool per
+/// user block; the result is identical at every thread count because
+/// each trip increments an independent integer cell count and the drop
+/// tallies are commutative sums, and identical to the row-struct
+/// reference path ([`extract_trips_reference`]) because the batch
+/// assignment is decision-identical to scalar [`AreaSet::assign`].
 pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
     let _span = tweetmob_obs::span!("trips");
-    let users: Vec<_> = dataset.iter_users().collect();
     let (od, drops) = tweetmob_par::par_map_reduce(
         "trips",
-        users.len(),
+        dataset.n_users(),
         64,
         |range| {
             let mut od = OdMatrix::new(areas.len());
             let mut drops = DropCounts::default();
-            for view in &users[range] {
-                drops.merge(extract_user(view.points, areas, &mut od));
+            let mut codes: Vec<i32> = Vec::new();
+            for i in range {
+                let view = dataset.user_view(i);
+                codes.clear();
+                areas.assign_batch(view.lats, view.lons, &mut codes);
+                drops.merge(record_codes(&codes, &mut od));
             }
             (od, drops)
         },
@@ -41,6 +48,32 @@ pub fn extract_trips(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
     );
     publish_counts(&od, drops);
     od
+}
+
+/// Serial row-struct reference for [`extract_trips`]: per-point scalar
+/// assignment, one user at a time. Kept for the A/B equivalence suite
+/// and the paper-scale bench's columnar-vs-rows speedup column; the
+/// batch path must produce a byte-identical matrix.
+pub fn extract_trips_reference(dataset: &TweetDataset, areas: &AreaSet) -> OdMatrix {
+    let mut od = OdMatrix::new(areas.len());
+    for view in dataset.iter_users() {
+        extract_user(&view, areas, &mut od);
+    }
+    od
+}
+
+/// Folds one user's assignment codes (area index or `-1`) into `od`,
+/// counting the consecutive pairs that contribute no trip.
+fn record_codes(codes: &[i32], od: &mut OdMatrix) -> DropCounts {
+    let mut drops = DropCounts::default();
+    for w in codes.windows(2) {
+        match (w[0], w[1]) {
+            (a, b) if a >= 0 && b >= 0 && a != b => od.record(a as usize, b as usize),
+            (a, b) if a >= 0 && b >= 0 => drops.same_area += 1,
+            _ => drops.unassigned += 1,
+        }
+    }
+    drops
 }
 
 /// Tallies of consecutive same-user pairs that contribute no trip.
@@ -68,12 +101,13 @@ fn publish_counts(od: &OdMatrix, drops: DropCounts) {
     tweetmob_obs::counter!("trips/dropped_unassigned").add(drops.unassigned);
 }
 
-/// Extracts one user's trips into `od`, returning the pairs dropped.
-fn extract_user(points: &[tweetmob_geo::Point], areas: &AreaSet, od: &mut OdMatrix) -> DropCounts {
+/// Extracts one user's trips into `od` through the scalar assignment
+/// path, returning the pairs dropped.
+fn extract_user(view: &UserTweets<'_>, areas: &AreaSet, od: &mut OdMatrix) -> DropCounts {
     let mut drops = DropCounts::default();
     let mut prev: Option<usize> = None;
     let mut seen_any = false;
-    for &p in points {
+    for p in view.iter_points() {
         let cur = areas.assign(p);
         if seen_any {
             match (prev, cur) {
@@ -215,9 +249,29 @@ mod tests {
         let parallel = extract_trips(&ds, &areas);
         let mut serial = OdMatrix::new(areas.len());
         for view in ds.iter_users() {
-            let _ = super::extract_user(view.points, &areas, &mut serial);
+            let _ = super::extract_user(&view, &areas, &mut serial);
         }
         assert_eq!(parallel, serial);
+        assert_eq!(parallel, extract_trips_reference(&ds, &areas));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_matrix() {
+        // 1-vs-8-thread extraction over user shards must be byte-identical
+        // (the paper-scale run asserts the same at 6.3M tweets).
+        let mut tweets = Vec::new();
+        for u in 0..400 {
+            let (a, b) = if u % 2 == 0 { (SYD, BNE) } else { (MEL, SYD) };
+            tweets.push(tweet(u, 100, a.0, a.1));
+            tweets.push(tweet(u, 200, b.0, b.1));
+            tweets.push(tweet(u, 300, -25.0, 135.0));
+        }
+        let ds = TweetDataset::from_tweets(tweets);
+        let areas = national();
+        let one = tweetmob_par::with_threads(1, || extract_trips(&ds, &areas));
+        let eight = tweetmob_par::with_threads(8, || extract_trips(&ds, &areas));
+        assert_eq!(one, eight);
+        assert_eq!(one, extract_trips_reference(&ds, &areas));
     }
 
     #[test]
@@ -232,7 +286,7 @@ mod tests {
             tweet(1, 400, MEL.0, MEL.1),
         ]);
         let view = ds.iter_users().next().unwrap();
-        let drops = super::extract_user(view.points, &areas, &mut od);
+        let drops = super::extract_user(&view, &areas, &mut od);
         assert_eq!(drops.same_area, 1);
         assert_eq!(drops.unassigned, 2, "both pairs touching the outback tweet");
         assert_eq!(od.total(), 0);

@@ -7,15 +7,21 @@ use tweetmob_geo::{BoundingBox, Point};
 
 /// A struct-of-arrays tweet dataset, sorted by `(user, time)`.
 ///
-/// Parallel columns (`users`, `times`, `points`) rather than a `Vec<Tweet>`
-/// keep the per-column scans (density maps over points, waiting times over
-/// timestamps) sequential in memory. User offsets form a CSR layout so a
-/// user's tweets are one contiguous, time-ordered slice.
-#[derive(Debug, Clone, Default)]
+/// Storage is fully columnar: parallel `users`, `times`, `lats`, `lons`
+/// columns rather than a `Vec<Tweet>` (or even a `Vec<Point>`), so the
+/// dominant access patterns — coordinate scans for density maps and
+/// spatial indexing, timestamp scans for waiting times, per-user slices
+/// for trip extraction — each stream through one contiguous `f64`/`i64`
+/// array. User offsets form a CSR layout so a user's tweets are one
+/// contiguous, time-ordered slice; this is also exactly the on-disk
+/// layout of the `TWC0` columnar format ([`crate::columnar`]), which is
+/// why loading it needs no re-sort and no per-record decode.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TweetDataset {
     users: Vec<UserId>,
     times: Vec<Timestamp>,
-    points: Vec<Point>,
+    lats: Vec<f64>,
+    lons: Vec<f64>,
     /// Distinct user ids, ascending; `user_starts[i]..user_starts[i+1]`
     /// are the row indices of `unique_users[i]`.
     unique_users: Vec<UserId>,
@@ -29,8 +35,10 @@ pub struct UserTweets<'a> {
     pub user: UserId,
     /// Tweet timestamps, ascending.
     pub times: &'a [Timestamp],
-    /// Tweet locations, parallel to `times`.
-    pub points: &'a [Point],
+    /// Tweet latitudes, parallel to `times`.
+    pub lats: &'a [f64],
+    /// Tweet longitudes, parallel to `times`.
+    pub lons: &'a [f64],
 }
 
 impl UserTweets<'_> {
@@ -46,6 +54,20 @@ impl UserTweets<'_> {
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
+
+    /// The `k`-th tweet location, assembled from the coordinate columns.
+    #[inline]
+    pub fn point(&self, k: usize) -> Point {
+        Point::new_unchecked(self.lats[k], self.lons[k])
+    }
+
+    /// Iterates the view's locations in time order.
+    pub fn iter_points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.lats
+            .iter()
+            .zip(self.lons.iter())
+            .map(|(&lat, &lon)| Point::new_unchecked(lat, lon))
+    }
 }
 
 impl TweetDataset {
@@ -58,7 +80,8 @@ impl TweetDataset {
         tweets.sort_by_key(|t| (t.user, t.time));
         let mut users = Vec::with_capacity(tweets.len());
         let mut times = Vec::with_capacity(tweets.len());
-        let mut points = Vec::with_capacity(tweets.len());
+        let mut lats = Vec::with_capacity(tweets.len());
+        let mut lons = Vec::with_capacity(tweets.len());
         let mut unique_users = Vec::new();
         let mut user_starts = Vec::new();
         for (i, t) in tweets.iter().enumerate() {
@@ -68,16 +91,119 @@ impl TweetDataset {
             }
             users.push(t.user);
             times.push(t.time);
-            points.push(t.location);
+            lats.push(t.location.lat);
+            lons.push(t.location.lon);
         }
         user_starts.push(tweets.len() as u32);
         Self {
             users,
             times,
-            points,
+            lats,
+            lons,
             unique_users,
             user_starts,
         }
+    }
+
+    /// Builds a dataset directly from pre-sorted columns — the zero-parse
+    /// constructor behind the `TWC0` columnar reader and the generator's
+    /// direct-to-columns path.
+    ///
+    /// The caller asserts the `(user, time)` sort invariant; this
+    /// constructor *verifies* it with cheap columnwise scans instead of
+    /// re-sorting:
+    ///
+    /// * all value columns the same length, at most `u32::MAX` rows;
+    /// * `user_starts` is a valid CSR over the rows: starts at 0, ends at
+    ///   the row count, strictly increasing (every user owns at least one
+    ///   row), one more entry than `unique_users`;
+    /// * `unique_users` strictly ascending;
+    /// * timestamps non-decreasing within each user's slice;
+    /// * every coordinate finite and in range (same rules as
+    ///   [`Point::new`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    /// Callers with a file context wrap it into
+    /// [`IoError::Format`](crate::io::IoError::Format).
+    pub fn from_sorted_columns(
+        unique_users: Vec<UserId>,
+        user_starts: Vec<u32>,
+        times: Vec<Timestamp>,
+        lats: Vec<f64>,
+        lons: Vec<f64>,
+    ) -> Result<Self, String> {
+        let n = times.len();
+        if lats.len() != n || lons.len() != n {
+            return Err(format!(
+                "column length mismatch: {n} times, {} lats, {} lons",
+                lats.len(),
+                lons.len()
+            ));
+        }
+        if n > u32::MAX as usize {
+            return Err(format!("row count {n} exceeds the u32 offset space"));
+        }
+        if user_starts.len() != unique_users.len() + 1 {
+            return Err(format!(
+                "user index shape: {} users need {} offsets, found {}",
+                unique_users.len(),
+                unique_users.len() + 1,
+                user_starts.len()
+            ));
+        }
+        if user_starts.first() != Some(&0) {
+            return Err("user offsets must start at 0".to_string());
+        }
+        if *user_starts.last().unwrap_or(&0) as usize != n {
+            return Err(format!(
+                "user offsets must end at the row count {n}, found {}",
+                user_starts.last().copied().unwrap_or(0)
+            ));
+        }
+        if user_starts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("user offsets must be strictly increasing (no empty users)".to_string());
+        }
+        if unique_users.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("unsorted input: user ids must be strictly ascending".to_string());
+        }
+        for (i, w) in user_starts.windows(2).enumerate() {
+            let slice = &times[w[0] as usize..w[1] as usize];
+            if slice.windows(2).any(|t| t[0] > t[1]) {
+                return Err(format!(
+                    "unsorted input: timestamps of user {} are not non-decreasing",
+                    unique_users[i].0
+                ));
+            }
+        }
+        // Columnwise range scans — branch-predictable passes over flat
+        // f64 arrays, far cheaper than a per-record Point::new parse.
+        if let Some(i) = lats
+            .iter()
+            .position(|&v| !v.is_finite() || !(-90.0..=90.0).contains(&v))
+        {
+            return Err(format!("row {i}: invalid latitude {}", lats[i]));
+        }
+        if let Some(i) = lons
+            .iter()
+            .position(|&v| !v.is_finite() || !(-180.0..=180.0).contains(&v))
+        {
+            return Err(format!("row {i}: invalid longitude {}", lons[i]));
+        }
+        // Materialise the per-row user column from the CSR index.
+        let mut users = Vec::with_capacity(n);
+        for (i, w) in user_starts.windows(2).enumerate() {
+            users.resize(w[1] as usize, unique_users[i]);
+        }
+        Ok(Self {
+            users,
+            times,
+            lats,
+            lons,
+            unique_users,
+            user_starts,
+        })
     }
 
     /// Total number of tweets.
@@ -98,10 +224,45 @@ impl TweetDataset {
         self.users.is_empty()
     }
 
-    /// All tweet locations, in `(user, time)` order.
+    /// All tweet latitudes, in `(user, time)` order.
     #[inline]
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    pub fn lats(&self) -> &[f64] {
+        &self.lats
+    }
+
+    /// All tweet longitudes, in `(user, time)` order.
+    #[inline]
+    pub fn lons(&self) -> &[f64] {
+        &self.lons
+    }
+
+    /// The `i`-th tweet location, assembled from the coordinate columns.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new_unchecked(self.lats[i], self.lons[i])
+    }
+
+    /// Iterates all tweet locations in `(user, time)` order.
+    pub fn iter_points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.lats
+            .iter()
+            .zip(self.lons.iter())
+            .map(|(&lat, &lon)| Point::new_unchecked(lat, lon))
+    }
+
+    /// Materialises the locations as one `Vec<Point>` (for consumers
+    /// that store points themselves, e.g. spatial index builders).
+    pub fn collect_points(&self) -> Vec<Point> {
+        self.iter_points().collect()
+    }
+
+    /// The CSR user offsets: `user_starts()[i]..user_starts()[i+1]` are
+    /// the row indices of `unique_users()[i]`. Always one entry longer
+    /// than [`TweetDataset::unique_users`]; last entry equals
+    /// [`TweetDataset::n_tweets`].
+    #[inline]
+    pub fn user_starts(&self) -> &[u32] {
+        &self.user_starts
     }
 
     /// All tweet timestamps, in `(user, time)` order.
@@ -125,26 +286,29 @@ impl TweetDataset {
     /// The time-ordered tweets of `user`, or `None` if unknown.
     pub fn user_tweets(&self, user: UserId) -> Option<UserTweets<'_>> {
         let i = self.unique_users.binary_search(&user).ok()?;
+        Some(self.user_view(i))
+    }
+
+    /// The view of the `i`-th distinct user (index into
+    /// [`TweetDataset::unique_users`]).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= n_users()`.
+    pub fn user_view(&self, i: usize) -> UserTweets<'_> {
         let lo = self.user_starts[i] as usize;
         let hi = self.user_starts[i + 1] as usize;
-        Some(UserTweets {
-            user,
+        UserTweets {
+            user: self.unique_users[i],
             times: &self.times[lo..hi],
-            points: &self.points[lo..hi],
-        })
+            lats: &self.lats[lo..hi],
+            lons: &self.lons[lo..hi],
+        }
     }
 
     /// Iterates over every user's tweet view, in ascending user order.
     pub fn iter_users(&self) -> impl Iterator<Item = UserTweets<'_>> + '_ {
-        self.unique_users.iter().enumerate().map(move |(i, &u)| {
-            let lo = self.user_starts[i] as usize;
-            let hi = self.user_starts[i + 1] as usize;
-            UserTweets {
-                user: u,
-                times: &self.times[lo..hi],
-                points: &self.points[lo..hi],
-            }
-        })
+        (0..self.n_users()).map(move |i| self.user_view(i))
     }
 
     /// Iterates over every tweet, in `(user, time)` order.
@@ -152,7 +316,7 @@ impl TweetDataset {
         (0..self.n_tweets()).map(move |i| Tweet {
             user: self.users[i],
             time: self.times[i],
-            location: self.points[i],
+            location: self.point(i),
         })
     }
 
@@ -208,11 +372,8 @@ impl TweetDataset {
         let mut seen: BTreeSet<(i64, i64)> = BTreeSet::new();
         for view in self.iter_users() {
             seen.clear();
-            for p in view.points {
-                seen.insert((
-                    (p.lat / grain).round() as i64,
-                    (p.lon / grain).round() as i64,
-                ));
+            for (&lat, &lon) in view.lats.iter().zip(view.lons.iter()) {
+                seen.insert(((lat / grain).round() as i64, (lon / grain).round() as i64));
             }
             out.push(seen.len() as u32);
         }
@@ -276,7 +437,8 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert_eq!(v.times[0].as_secs(), 100);
         assert_eq!(v.times[2].as_secs(), 9_000);
-        assert_eq!(v.points[0].lat, -33.9);
+        assert_eq!(v.lats[0], -33.9);
+        assert_eq!(v.point(0), Point::new_unchecked(-33.9, 151.2));
         assert!(ds.user_tweets(UserId(99)).is_none());
     }
 
@@ -287,6 +449,120 @@ mod tests {
         assert_eq!(ids, vec![1, 2, 3]);
         let total: usize = ds.iter_users().map(|v| v.len()).sum();
         assert_eq!(total, ds.n_tweets());
+    }
+
+    #[test]
+    fn coordinate_columns_are_parallel() {
+        let ds = sample();
+        assert_eq!(ds.lats().len(), ds.n_tweets());
+        assert_eq!(ds.lons().len(), ds.n_tweets());
+        for (i, p) in ds.iter_points().enumerate() {
+            assert_eq!(p.lat.to_bits(), ds.lats()[i].to_bits());
+            assert_eq!(p.lon.to_bits(), ds.lons()[i].to_bits());
+            assert_eq!(ds.point(i), p);
+        }
+        assert_eq!(ds.collect_points().len(), ds.n_tweets());
+    }
+
+    #[test]
+    fn user_starts_form_a_csr_index() {
+        let ds = sample();
+        let starts = ds.user_starts();
+        assert_eq!(starts.len(), ds.n_users() + 1);
+        assert_eq!(starts[0], 0);
+        assert_eq!(*starts.last().unwrap() as usize, ds.n_tweets());
+        assert_eq!(starts, &[0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_sorted_columns_round_trips() {
+        let ds = sample();
+        let back = TweetDataset::from_sorted_columns(
+            ds.unique_users().to_vec(),
+            ds.user_starts().to_vec(),
+            ds.times().to_vec(),
+            ds.lats().to_vec(),
+            ds.lons().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.users(), ds.users());
+        assert!(ds.iter_tweets().zip(back.iter_tweets()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn from_sorted_columns_rejects_bad_shapes() {
+        let ts = |secs: &[i64]| -> Vec<Timestamp> {
+            secs.iter().copied().map(Timestamp::from_secs).collect()
+        };
+        // Unsorted users.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(2), UserId(1)],
+            vec![0, 1, 2],
+            ts(&[0, 0]),
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        )
+        .unwrap_err();
+        assert!(err.contains("unsorted"), "{err}");
+        // Times decreasing within a user.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(1)],
+            vec![0, 2],
+            ts(&[5, 1]),
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        )
+        .unwrap_err();
+        assert!(err.contains("timestamps"), "{err}");
+        // Offsets not covering the rows.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(1)],
+            vec![0, 1],
+            ts(&[0, 0]),
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        )
+        .unwrap_err();
+        assert!(err.contains("end at the row count"), "{err}");
+        // Out-of-range latitude.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(1)],
+            vec![0, 1],
+            ts(&[0]),
+            vec![95.0],
+            vec![0.0],
+        )
+        .unwrap_err();
+        assert!(err.contains("latitude"), "{err}");
+        // NaN longitude.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(1)],
+            vec![0, 1],
+            ts(&[0]),
+            vec![0.0],
+            vec![f64::NAN],
+        )
+        .unwrap_err();
+        assert!(err.contains("longitude"), "{err}");
+        // Column length mismatch.
+        let err = TweetDataset::from_sorted_columns(
+            vec![UserId(1)],
+            vec![0, 1],
+            ts(&[0]),
+            vec![0.0, 1.0],
+            vec![0.0],
+        )
+        .unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+    }
+
+    #[test]
+    fn from_sorted_columns_empty_is_valid() {
+        let ds =
+            TweetDataset::from_sorted_columns(Vec::new(), vec![0], Vec::new(), Vec::new(), Vec::new())
+                .unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.n_users(), 0);
     }
 
     #[test]

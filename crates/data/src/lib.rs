@@ -10,12 +10,14 @@
 //!
 //! * *per-user scans* for waiting-time and trip extraction (contiguous
 //!   slices via the CSR user offsets);
-//! * *whole-dataset point scans* for density maps and spatial indexing
-//!   (one flat `Vec<Point>`).
+//! * *whole-dataset coordinate scans* for density maps and spatial
+//!   indexing (flat `lat[]` / `lon[]` columns).
 //!
-//! Serialisation: JSONL and CSV ([`io`]) for interchange, plus a
-//! compact fixed-width binary format ([`binary`]) for full-scale
-//! datasets, and the versioned model-artifact container ([`artifact`])
+//! Serialisation: JSONL and CSV ([`io`]) for interchange, a compact
+//! fixed-width row binary format ([`binary`]), the columnar `TWC0`
+//! format ([`columnar`]) that mirrors the in-memory layout for
+//! zero-parse full-scale loads, and the versioned model-artifact
+//! container ([`artifact`])
 //! that persists fitted models with their geometry for the
 //! fit-once / predict-many workflow.
 //!
@@ -48,6 +50,7 @@
 
 pub mod artifact;
 pub mod binary;
+pub mod columnar;
 mod dataset;
 pub mod io;
 mod summary;

@@ -42,6 +42,24 @@ pub struct GridIndex {
 }
 
 impl GridIndex {
+    /// Builds the index straight from parallel coordinate columns — the
+    /// natural entry point for struct-of-arrays datasets, which no
+    /// longer keep a `Vec<Point>` around. Identical to zipping the
+    /// columns into points and calling [`GridIndex::build`].
+    ///
+    /// # Panics
+    ///
+    /// If the columns have different lengths.
+    pub fn from_columns(lats: &[f64], lons: &[f64], cell_deg: f64) -> Self {
+        assert_eq!(lats.len(), lons.len(), "coordinate columns must be parallel");
+        let points = lats
+            .iter()
+            .zip(lons.iter())
+            .map(|(&lat, &lon)| Point::new_unchecked(lat, lon))
+            .collect();
+        Self::build(points, cell_deg)
+    }
+
     /// Builds an index over `points` with square cells of `cell_deg`
     /// degrees (clamped to a minimum of 1e-6°).
     ///
@@ -184,6 +202,7 @@ impl GridIndex {
                 let lo = self.starts[c] as usize;
                 let hi = self.starts[c + 1] as usize;
                 for &idx in &self.order[lo..hi] {
+                    // lint: allow(raw-haversine) — sparse cell-window candidates, not a column scan
                     let d = haversine_km(center, self.points[idx as usize]);
                     if d <= radius_km {
                         f(idx, d);

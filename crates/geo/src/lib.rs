@@ -50,6 +50,7 @@
 // `!(x > 0.0)` guards are deliberate: they also reject NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+mod batch;
 mod bbox;
 mod cache;
 mod density;
@@ -58,6 +59,7 @@ mod grid;
 mod point;
 mod polygon;
 
+pub use batch::{haversine_km_batch, haversine_km_batch_direct};
 pub use bbox::{BoundingBox, AUSTRALIA_BBOX};
 pub use cache::{
     pairwise_km, pairwise_km_direct, GeometryFormatError, PairGeometry, TrigPoint, GEOMETRY_MAGIC,

@@ -34,7 +34,11 @@
 //!   model-fitting crates (`models`, `epidemic`): pairwise distances
 //!   there route through the shared `PairGeometry` cache so the hot path
 //!   never recomputes transcendentals and the `cache/pairgeo/*` metrics
-//!   stay honest.
+//!   stay honest. In the batch-kernel crates (`geo`, `core`) the same
+//!   rule bans per-element `haversine_km` calls inside `for`/`while`/
+//!   `loop` bodies: column-shaped work there belongs on
+//!   `haversine_km_batch`, which hoists the origin trigonometry out of
+//!   the loop.
 //!
 //! On top of the per-file textual rules, four semantic rule families run
 //! over a parsed workspace model (lexer → item parser → call graph; the
@@ -120,6 +124,14 @@ const CAST_STRICT_CRATES: &[&str] = &[
 /// sit on the model-fitting hot path, where a stray scalar call silently
 /// reintroduces the O(n²) transcendental cost the cache exists to remove.
 const GEOMETRY_CACHE_CRATES: &[&str] = &["tweetmob-models", "tweetmob-epidemic"];
+
+/// Crates that own the columnar batch kernels. A scalar `haversine_km`
+/// call inside a `for`/`while`/`loop` body here is a per-element
+/// distance loop that belongs on `tweetmob_geo::haversine_km_batch`
+/// (origin trig hoisted once, coordinate columns scanned contiguously);
+/// one-off calls outside loops remain fine — these crates legitimately
+/// measure single pairs during construction and queries.
+const BATCH_KERNEL_CRATES: &[&str] = &["tweetmob-geo", "tweetmob-core"];
 
 /// The eleven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -318,8 +330,11 @@ fn textual_checks(
     if crate_name != "tweetmob-par" {
         check_par_layer(label, crate_name, code, in_test, out);
     }
-    if kind.is_library() && GEOMETRY_CACHE_CRATES.contains(&crate_name) {
-        check_raw_haversine(label, code, in_test, out);
+    if kind.is_library()
+        && (GEOMETRY_CACHE_CRATES.contains(&crate_name)
+            || BATCH_KERNEL_CRATES.contains(&crate_name))
+    {
+        check_raw_haversine(label, crate_name, code, in_test, out);
     }
 }
 
@@ -1495,32 +1510,122 @@ fn check_par_layer(
 // Rule 7: pairwise distances come from the geometry cache.
 // ---------------------------------------------------------------------------
 
-/// Rejects direct `haversine_km` calls in the model-fitting crates.
-/// `PairGeometry` builds the full pairwise triangle once and shares it;
-/// a scalar call in `models` or `epidemic` library code reintroduces the
-/// per-pair transcendental cost on the hot path and bypasses the
-/// `cache/pairgeo/hits` accounting. Test code may call it freely — the
-/// equality fixtures compare the cache against exactly this function.
+/// Rejects direct `haversine_km` calls in the model-fitting crates, and
+/// per-element `haversine_km` loops in the batch-kernel crates.
+///
+/// In [`GEOMETRY_CACHE_CRATES`] every call flags: `PairGeometry` builds
+/// the full pairwise triangle once and shares it; a scalar call in
+/// `models` or `epidemic` library code reintroduces the per-pair
+/// transcendental cost on the hot path and bypasses the
+/// `cache/pairgeo/hits` accounting.
+///
+/// In [`BATCH_KERNEL_CRATES`] only calls inside `for`/`while`/`loop`
+/// bodies flag — column-shaped per-element loops belong on
+/// `haversine_km_batch` — while one-off pair measurements stay legal.
+/// Calls to the batch API itself (`haversine_km_batch*`) never flag.
+///
+/// Test code may call anything freely — the equality fixtures compare
+/// the cache and the batch kernel against exactly these scalar loops.
 fn check_raw_haversine(
     label: &str,
+    crate_name: &str,
     code: &str,
     in_test: &dyn Fn(usize) -> bool,
     out: &mut Vec<Diagnostic>,
 ) {
+    let cache_crate = GEOMETRY_CACHE_CRATES.contains(&crate_name);
+    let loops = if cache_crate {
+        Vec::new()
+    } else {
+        loop_body_regions(code)
+    };
+    let bytes = code.as_bytes();
     for off in find_token(code, "haversine_km") {
         if in_test(off) {
             continue;
         }
-        out.push(Diagnostic {
-            file: label.to_string(),
-            line: line_of(code, off),
-            rule: Rule::RawHaversine,
-            message: "`haversine_km` on the model-fitting hot path: take distances from \
-                      `tweetmob_geo::PairGeometry` (build once, share the triangle) so \
-                      transcendentals are not recomputed per pair"
-                .to_string(),
-        });
+        if cache_crate {
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::RawHaversine,
+                message: "`haversine_km` on the model-fitting hot path: take distances from \
+                          `tweetmob_geo::PairGeometry` (build once, share the triangle) so \
+                          transcendentals are not recomputed per pair"
+                    .to_string(),
+            });
+            continue;
+        }
+        // Batch-kernel arm. A longer identifier (`haversine_km_batch`,
+        // `haversine_km_batch_direct`) IS the sanctioned batch API.
+        let end = off + "haversine_km".len();
+        if bytes.get(end).is_some_and(|&b| is_ident_byte(b)) {
+            continue;
+        }
+        if loops.iter().any(|&(s, e)| off > s && off < e) {
+            out.push(Diagnostic {
+                file: label.to_string(),
+                line: line_of(code, off),
+                rule: Rule::RawHaversine,
+                message: "per-element `haversine_km` loop on a batch path: hoist it onto \
+                          `tweetmob_geo::haversine_km_batch` over the coordinate columns \
+                          so the origin trigonometry is computed once outside the loop"
+                    .to_string(),
+            });
+        }
     }
+}
+
+/// Byte ranges (open brace → matching close brace) of every
+/// `for`/`while`/`loop` body in stripped code, for the batch-path arm of
+/// [`check_raw_haversine`]. `impl Trait for Type { … }` is excluded by
+/// requiring an `in` keyword between a `for` and its opening brace (real
+/// `for` loops always have one; an impl header never does), which also
+/// skips higher-ranked `for<'a>` bounds. An unclosed body (truncated
+/// file) extends to end of input.
+fn loop_body_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    // `find_token` checks the left identifier boundary only; keywords
+    // need the right side checked too (`format!` contains `for`).
+    let keyword_sites = |tok: &str| -> Vec<usize> {
+        find_token(code, tok)
+            .into_iter()
+            .filter(|&at| !bytes.get(at + tok.len()).is_some_and(|&b| is_ident_byte(b)))
+            .collect()
+    };
+    let mut regions = Vec::new();
+    for (tok, needs_in) in [("for", true), ("while", false), ("loop", false)] {
+        for at in keyword_sites(tok) {
+            let Some(open_rel) = code[at..].find('{') else {
+                continue;
+            };
+            let open = at + open_rel;
+            if needs_in
+                && !find_token(&code[at..open], "in")
+                    .iter()
+                    .any(|&rel| !bytes.get(at + rel + 2).is_some_and(|&b| is_ident_byte(b)))
+            {
+                continue;
+            }
+            let mut depth = 0usize;
+            let mut close = code.len();
+            for (i, &b) in bytes[open..].iter().enumerate() {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = open + i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            regions.push((open, close));
+        }
+    }
+    regions
 }
 
 // ---------------------------------------------------------------------------
@@ -1904,6 +2009,74 @@ mod tests {
         let bare = src.replace(" — one-off pair, no triangle to share", "");
         let d = lint_source("m.rs", "tweetmob-models", FileKind::Library, &bare);
         assert_eq!(rules(&d), vec![Rule::RawHaversine]);
+    }
+
+    #[test]
+    fn raw_haversine_batch_arm_flags_loops_only() {
+        let looped = "fn total(pts: &[Point], o: Point) -> f64 {\n    \
+                      let mut sum = 0.0;\n    \
+                      for p in pts {\n        \
+                      sum += haversine_km(o, *p);\n    \
+                      }\n    sum\n}\n";
+        for crate_name in ["tweetmob-geo", "tweetmob-core"] {
+            let d = lint_source("m.rs", crate_name, FileKind::Library, looped);
+            assert_eq!(rules(&d), vec![Rule::RawHaversine], "{d:?}");
+            assert_eq!(d[0].line, 4);
+            assert!(
+                d[0].message.contains("haversine_km_batch"),
+                "{}",
+                d[0].message
+            );
+        }
+        // One-off pair measurements outside loops stay legal there...
+        let pair = "fn f(a: Point, b: Point) -> f64 { haversine_km(a, b) }\n";
+        let d = lint_source("m.rs", "tweetmob-geo", FileKind::Library, pair);
+        assert!(d.is_empty(), "{d:?}");
+        // ...and crates on neither list never see the rule.
+        let d = lint_source("m.rs", "tweetmob-synth", FileKind::Library, looped);
+        assert!(d.iter().all(|d| d.rule != Rule::RawHaversine), "{d:?}");
+    }
+
+    #[test]
+    fn raw_haversine_batch_arm_covers_while_and_loop_bodies() {
+        let src = "fn f(pts: &[Point], o: Point) -> f64 {\n    \
+                   let mut s = 0.0;\n    let mut i = 0;\n    \
+                   while i < pts.len() {\n        \
+                   s += haversine_km(o, pts[i]);\n        i += 1;\n    }\n    \
+                   loop {\n        \
+                   s += haversine_km(o, pts[0]);\n        break;\n    }\n    s\n}\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, src);
+        assert_eq!(rules(&d), vec![Rule::RawHaversine, Rule::RawHaversine], "{d:?}");
+        assert_eq!(d[0].line, 5);
+        assert_eq!(d[1].line, 9);
+    }
+
+    #[test]
+    fn raw_haversine_batch_arm_exempts_the_batch_api_and_impl_blocks() {
+        // Calling the batch kernel inside a loop IS the sanctioned shape.
+        let batched = "fn f(chunks: &[Chunk], o: Point, out: &mut Vec<f64>) {\n    \
+                       for c in chunks {\n        \
+                       haversine_km_batch(o, &c.lats, &c.lons, out);\n    }\n}\n";
+        let d = lint_source("m.rs", "tweetmob-geo", FileKind::Library, batched);
+        assert!(d.is_empty(), "{d:?}");
+        // `impl Trait for Type` is not a loop: a straight-line call in a
+        // method body stays legal.
+        let imp = "impl Distance for Ruler {\n    \
+                   fn measure(&self, a: Point, b: Point) -> f64 {\n        \
+                   haversine_km(a, b)\n    }\n}\n";
+        let d = lint_source("m.rs", "tweetmob-core", FileKind::Library, imp);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn raw_haversine_batch_arm_annotation_suppresses() {
+        let src = "fn reference(pts: &[Point], o: Point) -> f64 {\n    \
+                   let mut sum = 0.0;\n    \
+                   for p in pts {\n        \
+                   // lint: allow(raw-haversine) — scalar reference the kernel is compared to\n        \
+                   sum += haversine_km(o, *p);\n    }\n    sum\n}\n";
+        let d = lint_source("m.rs", "tweetmob-geo", FileKind::Library, src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     // -- scanner internals -------------------------------------------------

@@ -211,10 +211,24 @@ pub fn total(points: &[Point]) -> f64 {
     assert_eq!(diags[0].rule, Rule::RawHaversine);
     assert_eq!(diags[0].line, 10);
 
-    // The same source under a non-fitting crate name is clean...
+    // Under a batch-kernel crate the same loop flags with the
+    // hoist-onto-the-batch-API message (the call sits inside `for`
+    // bodies)...
     write_named_fixture(scratch.path(), "tweetmob-geo", FIXTURE);
     let geo = lint_workspace(scratch.path()).expect("lint under tweetmob-geo");
-    assert!(geo.is_empty(), "{}", render_report(&geo));
+    assert_eq!(geo.len(), 1, "{}", render_report(&geo));
+    assert_eq!(geo[0].rule, Rule::RawHaversine);
+    assert_eq!(geo[0].line, 10);
+    assert!(
+        geo[0].message.contains("haversine_km_batch"),
+        "{}",
+        geo[0].message
+    );
+
+    // ...while a crate on neither list never sees the rule.
+    write_named_fixture(scratch.path(), "tweetmob-synth", FIXTURE);
+    let synth = lint_workspace(scratch.path()).expect("lint under tweetmob-synth");
+    assert!(synth.is_empty(), "{}", render_report(&synth));
 
     // ...and the escape hatch clears the finding in the fitting crate.
     let annotated = FIXTURE.replace(

@@ -185,6 +185,103 @@ impl FitColumns {
     }
 }
 
+/// Per-observation score column for the single-constant models
+/// (Radiation, intervening Opportunities): `dlog[i] = log₁₀ T[i] −
+/// log₁₀ φ[i]` over the usable observations, in input order.
+///
+/// Both models fit only a scaling constant `C` — the geometric mean of
+/// `T / φ` — so the whole fit reduces to one serial sum over this
+/// column. The expensive part, the per-observation `log10`s and the
+/// structural factor `φ`, is embarrassingly parallel: each element is a
+/// pure function of its own observation, so [`ScoreColumns::build`]
+/// shards the observation range over the `tweetmob-par` pool and
+/// concatenates the chunk outputs in chunk order. The column contents —
+/// and therefore the fitted `C` — are byte-identical at every thread
+/// count, and byte-identical to the row-wise reference loop, because
+/// the final reduction ([`ScoreColumns::intercept`]) always runs
+/// serially left-to-right in observation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreColumns {
+    dlog: Vec<f64>,
+}
+
+impl ScoreColumns {
+    /// Minimum observation count before the build shards across threads.
+    const MIN_PARALLEL: usize = 2_048;
+
+    /// Extracts `log₁₀ T − log₁₀ φ` for every usable observation
+    /// (fittable, with a positive finite structural factor `φ`),
+    /// preserving input order.
+    ///
+    /// `phi` must be a pure function of the observation; the build
+    /// evaluates it exactly once per observation, in parallel.
+    pub fn build<F>(observations: &[FlowObservation], phi: F) -> Self
+    where
+        F: Fn(&FlowObservation) -> f64 + Sync,
+    {
+        let chunks = tweetmob_par::par_map_chunks(
+            "fit/score-columns",
+            observations.len(),
+            Self::MIN_PARALLEL,
+            |range| {
+                let mut dlog = Vec::new();
+                for o in &observations[range] {
+                    if !o.fittable() {
+                        continue;
+                    }
+                    let p = phi(o);
+                    if p > 0.0 && p.is_finite() {
+                        dlog.push(o.observed_flow.log10() - p.log10());
+                    }
+                }
+                dlog
+            },
+        );
+        let mut dlog = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            dlog.extend_from_slice(&chunk);
+        }
+        Self { dlog }
+    }
+
+    /// Number of usable observations in the column.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dlog.len()
+    }
+
+    /// Whether no observation survived the usability filter.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dlog.is_empty()
+    }
+
+    /// The score column itself, in observation order.
+    #[inline]
+    #[must_use]
+    pub fn dlog(&self) -> &[f64] {
+        &self.dlog
+    }
+
+    /// `(Σ dlog, n)` — the serial left-to-right sum the geometric-mean
+    /// constant derives from (`C = 10^(Σ/n)`), or `None` when the
+    /// column is empty. Always reduced in observation order so the
+    /// result matches the row-wise reference loop bit-for-bit.
+    #[must_use]
+    pub fn intercept(&self) -> Option<(f64, usize)> {
+        if self.dlog.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for &d in &self.dlog {
+            acc += d;
+        }
+        Some((acc, self.dlog.len()))
+    }
+}
+
 /// Per-run sufficient statistics for the closed-form grid search: with
 /// `u[i] = ln_t[i] − α·ln_m[i] − β·ln_n[i]` fixed along a gamma run and
 /// residuals `r[i] = u[i] + γ·ln_d[i]`, the candidate moments expand to
@@ -358,5 +455,56 @@ mod tests {
     fn run_moments_mismatched_scratch_panics() {
         let cols = FitColumns::from_observations(&sample(8));
         let _ = cols.run_moments(&[0.0; 4]);
+    }
+
+    #[test]
+    fn score_columns_mirror_the_reference_loop() {
+        let mut data = sample(40);
+        data.push(obs(1e4, 1e4, 100.0, 0.0)); // unfittable: zero flow
+        let phi = |o: &FlowObservation| o.origin_population * o.dest_population;
+        let cols = ScoreColumns::build(&data, phi);
+        assert_eq!(cols.len(), 40);
+        assert!(!cols.is_empty());
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for o in data.iter().filter(|o| o.fittable()) {
+            let p = phi(o);
+            if p > 0.0 && p.is_finite() {
+                assert_eq!(
+                    cols.dlog()[n].to_bits(),
+                    (o.observed_flow.log10() - p.log10()).to_bits()
+                );
+                acc += o.observed_flow.log10() - p.log10();
+                n += 1;
+            }
+        }
+        let (sum, used) = cols.intercept().unwrap();
+        assert_eq!(sum.to_bits(), acc.to_bits());
+        assert_eq!(used, n);
+    }
+
+    #[test]
+    fn score_columns_are_thread_invariant() {
+        // Over the MIN_PARALLEL threshold so the 8-thread run actually
+        // shards; the column and intercept must not change.
+        let data = sample(ScoreColumns::MIN_PARALLEL + 101);
+        let phi = |o: &FlowObservation| o.origin_population / o.distance_km;
+        let one = tweetmob_par::with_threads(1, || ScoreColumns::build(&data, phi));
+        let eight = tweetmob_par::with_threads(8, || ScoreColumns::build(&data, phi));
+        assert_eq!(one, eight);
+        let (s1, n1) = one.intercept().unwrap();
+        let (s8, n8) = eight.intercept().unwrap();
+        assert_eq!(s1.to_bits(), s8.to_bits());
+        assert_eq!(n1, n8);
+    }
+
+    #[test]
+    fn score_columns_empty_when_nothing_usable() {
+        let cols = ScoreColumns::build(&[obs(1e4, 1e4, 100.0, 0.0)], |_| 1.0);
+        assert!(cols.is_empty());
+        assert_eq!(cols.intercept(), None);
+        // Usable flow but a non-finite structural factor is skipped too.
+        let cols = ScoreColumns::build(&sample(5), |_| f64::NAN);
+        assert!(cols.is_empty());
     }
 }

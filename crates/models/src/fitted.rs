@@ -128,8 +128,8 @@ impl FittedModelSet {
         Ok(Self {
             gravity4: Gravity4Fit::fit(observations)?,
             gravity2: Gravity2Fit::fit(observations)?,
-            radiation: RadiationFit::fit(observations)?,
-            opportunities: OpportunitiesFit::fit(observations)?,
+            radiation: RadiationFit::fit_columnar(observations)?,
+            opportunities: OpportunitiesFit::fit_columnar(observations)?,
         })
     }
 

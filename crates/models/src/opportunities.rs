@@ -15,6 +15,7 @@
 //! companion (is Radiation's misfit specific to its functional form, or
 //! shared by all intervening-opportunity laws?).
 
+use crate::columns::ScoreColumns;
 use crate::fitted::FittedModel;
 use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,26 @@ impl OpportunitiesFit {
         if n_used == 0 {
             return Err(ModelError::TooFewObservations { needed: 1, got: 0 });
         }
+        Ok(Self {
+            c: 10f64.powf(acc / n_used as f64),
+            n_used,
+        })
+    }
+
+    /// As [`OpportunitiesFit::fit`], through a [`ScoreColumns`] built
+    /// in parallel over the shared worker pool; bit-identical to the
+    /// row-wise reference at every thread count because the final
+    /// reduction is serial and in observation order.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooFewObservations`] when no observation is usable.
+    pub fn fit_columnar(observations: &[FlowObservation]) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/opportunities");
+        let cols = ScoreColumns::build(observations, Self::structural_factor);
+        let Some((acc, n_used)) = cols.intercept() else {
+            return Err(ModelError::TooFewObservations { needed: 1, got: 0 });
+        };
         Ok(Self {
             c: 10f64.powf(acc / n_used as f64),
             n_used,
@@ -116,6 +137,28 @@ mod tests {
     fn fit_requires_usable_observations() {
         assert!(OpportunitiesFit::fit(&[]).is_err());
         assert!(OpportunitiesFit::fit(&[obs(1e4, 1e3, 0.0, 0.0)]).is_err());
+        assert!(OpportunitiesFit::fit_columnar(&[]).is_err());
+        assert!(OpportunitiesFit::fit_columnar(&[obs(1e4, 1e3, 0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn columnar_fit_is_bit_identical_to_reference_at_any_thread_count() {
+        let mut k = 29u64;
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        let data: Vec<FlowObservation> = (0..5_000)
+            .map(|_| obs(next(1e3, 1e6), next(1e3, 1e6), next(0.0, 2e6), next(1.0, 1e4)))
+            .collect();
+        let reference = OpportunitiesFit::fit(&data).unwrap();
+        let one = tweetmob_par::with_threads(1, || OpportunitiesFit::fit_columnar(&data).unwrap());
+        let eight =
+            tweetmob_par::with_threads(8, || OpportunitiesFit::fit_columnar(&data).unwrap());
+        assert_eq!(one.c.to_bits(), reference.c.to_bits());
+        assert_eq!(eight.c.to_bits(), reference.c.to_bits());
+        assert_eq!(one.n_used, reference.n_used);
+        assert_eq!(eight.n_used, reference.n_used);
     }
 
     #[test]

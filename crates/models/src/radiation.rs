@@ -9,6 +9,7 @@
 //! even for distant pairs, which radiation's smooth-dispersion assumption
 //! does not anticipate.
 
+use crate::columns::ScoreColumns;
 use crate::fitted::FittedModel;
 use crate::traits::{FlowObservation, ModelError};
 use serde::{Deserialize, Serialize};
@@ -211,6 +212,27 @@ impl RadiationFit {
         if n_used == 0 {
             return Err(ModelError::TooFewObservations { needed: 1, got: 0 });
         }
+        Ok(Self {
+            c: debug_assert_finite(10f64.powf(acc / n_used as f64), "radiation C"),
+            n_used,
+        })
+    }
+
+    /// As [`RadiationFit::fit`], through a [`ScoreColumns`] built in
+    /// parallel over the shared worker pool. The reduction is serial
+    /// and in observation order, so the fitted constant is bit-identical
+    /// to the row-wise reference at every thread count (asserted by the
+    /// paper-scale bench at 6.3M tweets).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooFewObservations`] when no observation is usable.
+    pub fn fit_columnar(observations: &[FlowObservation]) -> Result<Self, ModelError> {
+        let _span = tweetmob_obs::span!("fit/radiation");
+        let cols = ScoreColumns::build(observations, Self::structural_factor);
+        let Some((acc, n_used)) = cols.intercept() else {
+            return Err(ModelError::TooFewObservations { needed: 1, got: 0 });
+        };
         Ok(Self {
             c: debug_assert_finite(10f64.powf(acc / n_used as f64), "radiation C"),
             n_used,
@@ -420,6 +442,39 @@ mod tests {
         ));
         let zero_flow = vec![obs(1e4, 1e4, 10.0, 0.0, 0.0)];
         assert!(RadiationFit::fit(&zero_flow).is_err());
+        assert!(matches!(
+            RadiationFit::fit_columnar(&[]),
+            Err(ModelError::TooFewObservations { .. })
+        ));
+        assert!(RadiationFit::fit_columnar(&zero_flow).is_err());
+    }
+
+    #[test]
+    fn columnar_fit_is_bit_identical_to_reference_at_any_thread_count() {
+        let mut k = 17u64;
+        let mut next = |lo: f64, hi: f64| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lo + (k >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+        };
+        let mut data: Vec<FlowObservation> = (0..5_000)
+            .map(|_| {
+                obs(
+                    next(1e3, 1e6),
+                    next(1e3, 1e6),
+                    next(5.0, 3_000.0),
+                    next(0.0, 2e6),
+                    next(1.0, 1e4),
+                )
+            })
+            .collect();
+        data.push(obs(1e4, 1e4, 10.0, 0.0, 0.0)); // unfittable straggler
+        let reference = RadiationFit::fit(&data).unwrap();
+        let one = tweetmob_par::with_threads(1, || RadiationFit::fit_columnar(&data).unwrap());
+        let eight = tweetmob_par::with_threads(8, || RadiationFit::fit_columnar(&data).unwrap());
+        assert_eq!(one.c.to_bits(), reference.c.to_bits());
+        assert_eq!(eight.c.to_bits(), reference.c.to_bits());
+        assert_eq!(one.n_used, reference.n_used);
+        assert_eq!(eight.n_used, reference.n_used);
     }
 
     #[test]

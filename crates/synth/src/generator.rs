@@ -27,7 +27,7 @@ use crate::sampling::{
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use std::collections::BTreeMap;
-use tweetmob_data::{Timestamp, Tweet, TweetDataset, UserId};
+use tweetmob_data::{Timestamp, TweetDataset, UserId};
 use tweetmob_geo::{Point, AUSTRALIA_BBOX};
 use tweetmob_stats::rng::SplitMix64;
 
@@ -154,26 +154,57 @@ impl TweetGenerator {
     /// shared [`tweetmob_par`] pool. Output is independent of thread
     /// count: every user stream is seeded by `(config.seed, user_id)`
     /// alone, and chunk outputs are concatenated in user-id order.
+    ///
+    /// The generator emits each user's stream in ascending user-id order
+    /// with non-decreasing timestamps, so the output already satisfies
+    /// the dataset's `(user, time)` sort invariant — the columns go
+    /// straight into [`TweetDataset::from_sorted_columns`] with no
+    /// row-struct materialisation and no re-sort. The result is
+    /// identical to routing the same rows through
+    /// [`TweetDataset::from_tweets`] (a stable sort of sorted input is
+    /// the identity), which `tests::direct_to_columns_matches_row_path`
+    /// holds bit-for-bit.
     pub fn generate(&self) -> TweetDataset {
         let _span = tweetmob_obs::span!("synth/generate");
         let n_users = self.config.n_users;
-        let tweets = tweetmob_par::par_map_reduce(
+        let mut cols = tweetmob_par::par_map_reduce(
             "synth/generate",
             n_users as usize,
             64,
             |range| {
-                let mut out = Vec::new();
+                let mut cols = UserColumns::default();
                 for uid in range {
-                    self.user_stream(uid as u32, &mut out);
+                    let before = cols.times.len();
+                    self.user_stream(uid as u32, &mut cols);
+                    let count = (cols.times.len() - before) as u32;
+                    if count > 0 {
+                        cols.unique_users.push(UserId(uid as u32));
+                        cols.counts.push(count);
+                    }
                 }
-                out
+                cols
             },
-            |mut acc: Vec<Tweet>, chunk| {
+            |mut acc: UserColumns, chunk| {
                 acc.extend(chunk);
                 acc
             },
         );
-        let ds = TweetDataset::from_tweets(tweets);
+        let mut user_starts = Vec::with_capacity(cols.counts.len() + 1);
+        let mut offset = 0u32;
+        user_starts.push(0);
+        for &c in &cols.counts {
+            offset += c;
+            user_starts.push(offset);
+        }
+        let ds = TweetDataset::from_sorted_columns(
+            std::mem::take(&mut cols.unique_users),
+            user_starts,
+            cols.times,
+            cols.lats,
+            cols.lons,
+        )
+        // lint: allow(no-panic) — the generator upholds the sort invariant by construction
+        .expect("generator output satisfies the columnar sort invariant");
         tweetmob_obs::counter!("synth/users").add(u64::from(n_users));
         tweetmob_obs::counter!("synth/tweets_generated").add(ds.n_tweets() as u64);
         let per_user: Vec<u64> = ds.tweets_per_user().iter().map(|&c| u64::from(c)).collect();
@@ -183,8 +214,8 @@ impl TweetGenerator {
         ds
     }
 
-    /// Generates one user's tweets into `out`.
-    fn user_stream(&self, uid: u32, out: &mut Vec<Tweet>) {
+    /// Generates one user's tweets into the column buffers.
+    fn user_stream(&self, uid: u32, out: &mut UserColumns) {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(user_seed(cfg.seed, uid));
         let home = self.sample_home(&mut rng);
@@ -217,7 +248,9 @@ impl TweetGenerator {
             } else {
                 scatter_point(&mut rng, venue, GPS_JITTER_KM)
             };
-            out.push(Tweet::new(UserId(uid), time, location));
+            out.times.push(time);
+            out.lats.push(location.lat);
+            out.lons.push(location.lon);
         }
     }
 
@@ -291,6 +324,30 @@ impl TweetGenerator {
     }
 }
 
+/// Struct-of-arrays accumulator for generated tweets: parallel value
+/// columns plus the per-user run lengths, concatenated across chunks in
+/// user-id order so the merged buffers already satisfy the dataset's
+/// `(user, time)` sort invariant.
+#[derive(Debug, Default)]
+struct UserColumns {
+    unique_users: Vec<UserId>,
+    counts: Vec<u32>,
+    times: Vec<Timestamp>,
+    lats: Vec<f64>,
+    lons: Vec<f64>,
+}
+
+impl UserColumns {
+    /// Appends `chunk` after `self` (chunks arrive in user-id order).
+    fn extend(&mut self, chunk: UserColumns) {
+        self.unique_users.extend(chunk.unique_users);
+        self.counts.extend(chunk.counts);
+        self.times.extend(chunk.times);
+        self.lats.extend(chunk.lats);
+        self.lons.extend(chunk.lons);
+    }
+}
+
 /// Per-user seed derivation: one SplitMix64 step over `(seed, uid)` so
 /// consecutive user ids get decorrelated streams.
 fn user_seed(seed: u64, uid: u32) -> u64 {
@@ -323,7 +380,7 @@ fn frozen_place_bias(seed: u64, place: usize, sigma: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tweetmob_data::DatasetSummary;
+    use tweetmob_data::{DatasetSummary, Tweet};
     use tweetmob_geo::haversine_km;
 
     fn small_dataset() -> TweetDataset {
@@ -335,6 +392,38 @@ mod tests {
         let ds = small_dataset();
         assert_eq!(ds.n_users(), 2_000);
         assert!(ds.n_tweets() >= 2_000);
+    }
+
+    #[test]
+    fn direct_to_columns_matches_row_path() {
+        // The zero-sort columnar construction must be indistinguishable
+        // from materialising rows and routing them through from_tweets —
+        // a stable sort of already-sorted input is the identity.
+        let g = TweetGenerator::new(GeneratorConfig::small());
+        let columnar = g.generate();
+        let mut cols = UserColumns::default();
+        let mut rows = Vec::new();
+        for uid in 0..g.config().n_users {
+            let before = cols.times.len();
+            g.user_stream(uid, &mut cols);
+            for k in before..cols.times.len() {
+                rows.push(Tweet::new(
+                    UserId(uid),
+                    cols.times[k],
+                    Point::new_unchecked(cols.lats[k], cols.lons[k]),
+                ));
+            }
+        }
+        let row_path = TweetDataset::from_tweets(rows);
+        assert_eq!(columnar, row_path);
+    }
+
+    #[test]
+    fn generation_is_thread_invariant() {
+        let g = TweetGenerator::new(GeneratorConfig::small());
+        let one = tweetmob_par::with_threads(1, || g.generate());
+        let eight = tweetmob_par::with_threads(8, || g.generate());
+        assert_eq!(one, eight);
     }
 
     #[test]
@@ -411,9 +500,8 @@ mod tests {
         let sydney = Point::new_unchecked(-33.8688, 151.2093);
         let alice = Point::new_unchecked(-23.6980, 133.8807);
         let near = |c: Point, r: f64| {
-            ds.points()
-                .iter()
-                .filter(|&&p| haversine_km(c, p) < r)
+            ds.iter_points()
+                .filter(|&p| haversine_km(c, p) < r)
                 .count()
         };
         let sydney_tweets = near(sydney, 50.0);
@@ -430,8 +518,8 @@ mod tests {
         // Count consecutive same-user pairs > 300 km apart.
         let mut far_pairs = 0usize;
         for view in ds.iter_users() {
-            for w in view.points.windows(2) {
-                if haversine_km(w[0], w[1]) > 300.0 {
+            for k in 1..view.len() {
+                if haversine_km(view.point(k - 1), view.point(k)) > 300.0 {
                     far_pairs += 1;
                 }
             }
@@ -479,8 +567,8 @@ mod tests {
         let g = TweetGenerator::with_places(cfg, one.clone());
         let ds = g.generate();
         // Every tweet scatters around the single place.
-        for p in ds.points() {
-            let d = haversine_km(one[0].area.center, *p);
+        for p in ds.iter_points() {
+            let d = haversine_km(one[0].area.center, p);
             assert!(
                 d < one[0].radius_km * 4.0 + GPS_JITTER_KM * 4.0 + 1e-6,
                 "d = {d}"

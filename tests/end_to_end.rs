@@ -55,7 +55,7 @@ fn csv_roundtrip_preserves_dataset() {
 fn density_grid_covers_all_generated_tweets() {
     let ds = dataset();
     let mut grid = DensityGrid::new(AUSTRALIA_BBOX, 0.25);
-    grid.extend(ds.points().iter().copied());
+    grid.extend(ds.iter_points());
     assert_eq!(grid.total() as usize, ds.n_tweets());
     assert_eq!(grid.dropped(), 0, "generator must stay inside the bbox");
 }

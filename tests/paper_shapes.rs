@@ -48,7 +48,7 @@ fn table1_statistics_in_paper_bands() {
 #[test]
 fn fig1_density_concentrates_on_the_coast() {
     let mut grid = DensityGrid::new(AUSTRALIA_BBOX, 0.5);
-    grid.extend(dataset().points().iter().copied());
+    grid.extend(dataset().iter_points());
     // The top cells must sit near known settlements (capitals or
     // regional cities), never in the interior.
     use tweetmob::synth::NATIONAL_TOP20;
@@ -76,9 +76,8 @@ fn fig1_density_concentrates_on_the_coast() {
     // continental centre holds well under 1 % of tweets.
     let interior = Point::new_unchecked(-25.6, 134.4);
     let interior_tweets = dataset()
-        .points()
-        .iter()
-        .filter(|&&p| haversine_km(interior, p) < 300.0)
+        .iter_points()
+        .filter(|&p| haversine_km(interior, p) < 300.0)
         .count();
     assert!(
         (interior_tweets as f64) < 0.01 * dataset().n_tweets() as f64,
